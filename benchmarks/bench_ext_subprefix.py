@@ -1,0 +1,46 @@
+"""EXT-SUB — sub-prefix hijacks (extension of the paper's future work).
+
+"Some origin and sub-prefix attacks will still get through, and possibly
+remain undetected" (Section VIII). A more-specific announcement propagates
+as a fresh NLRI: longest-prefix match gives the attacker every AS the
+announcement reaches, regardless of route preference — so route-preference
+resilience (depth, multi-homing) is no defense, and only origin validation
+with exact-length authorizations contains it.
+"""
+
+from repro.util.tables import render_table
+
+
+def test_ext_subprefix_hijacks(run_experiment, suite):
+    result = run_experiment("ext_subprefix")
+    summary = result.summary
+    rows = [
+        (
+            label,
+            round(stats["mean"], 1),
+            round(stats["mean_successful"], 1),
+            int(stats["maximum"]),
+        )
+        for label, stats in summary.items()
+        if isinstance(stats, dict) and "mean" in stats
+    ]
+    print()
+    print(render_table(
+        ("attack kind", "mean pollution", "mean (successful)", "max"),
+        rows,
+        title=f"EXT-SUB: {summary['attackers']} attackers vs "
+              f"AS{summary['target']}",
+    ))
+    print(f"sub-prefix >= origin pollution for "
+          f"{summary['subprefix_dominates_fraction']:.0%} of attackers")
+
+    origin = summary["origin_hijack"]
+    sub = summary["subprefix_hijack"]
+    blocked = summary["subprefix_with_core299_rov"]
+    # Shape 1: sub-prefix hijacks dominate origin hijacks.
+    assert sub["mean"] > origin["mean"]
+    assert summary["subprefix_dominates_fraction"] > 0.9
+    # Shape 2: a sub-prefix hijack reaches nearly the whole topology.
+    assert sub["mean"] > 0.8 * len(suite.graph)
+    # Shape 3: origin validation (exact-length ROAs) contains it.
+    assert blocked["mean"] < 0.2 * sub["mean"]

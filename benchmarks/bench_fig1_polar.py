@@ -1,0 +1,29 @@
+"""FIG1 — the polar propagation movie.
+
+Paper: an aggressive attacker vs a very vulnerable depth-5 target; the
+attack converges within 7 generations and draws 96% of the address space.
+"""
+
+from benchmarks.conftest import print_summary_table
+
+
+def test_fig1_polar_propagation(run_experiment):
+    result = run_experiment("fig1")
+    summary = result.summary
+    print()
+    print(f"FIG1: AS{summary['attacker']} hijacks AS{summary['target']}")
+    print(
+        f"  generations: {summary['generations']} "
+        f"(paper: {summary['paper_generations']})"
+    )
+    print(
+        f"  polluted ASes: {summary['polluted_ases']}; address space drawn: "
+        f"{summary['address_space_fraction']:.0%} (paper: 96%)"
+    )
+    print(f"  frames: {len(result.artifacts)} SVGs under results/figures/fig1/")
+
+    # Paper shape: convergence within ~5-10 generations, and the deep
+    # target's hijack captures the clear majority of address space.
+    assert 3 <= summary["generations"] <= 12
+    assert summary["address_space_fraction"] > 0.5
+    assert result.artifacts

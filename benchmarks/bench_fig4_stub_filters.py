@@ -1,0 +1,31 @@
+"""FIG4 — defensive stub filters (the "optimistic scenario").
+
+Paper: with transit providers filtering bogus announcements from their
+stub customers, attacks originate only from the 14.7% transit ASes. The
+curves "simply scale down but keep their general shape".
+"""
+
+from benchmarks.conftest import print_summary_table
+
+
+def test_fig4_stub_filter_scaling(run_experiment):
+    result = run_experiment("fig4")
+    print_summary_table(result)
+
+    stats = {
+        label: value
+        for label, value in result.summary.items()
+        if isinstance(value, dict) and "mean" in value
+    }
+    # Scale-down: the filtered (transit-only) curves count fewer attackers.
+    for target in ("depth-1", "deep target"):
+        all_attackers = stats[f"{target}, all attackers"]
+        filtered = stats[f"{target}, stub-filtered"]
+        assert filtered["count"] < all_attackers["count"]
+        assert filtered["maximum"] <= all_attackers["maximum"]
+    # Shape preserved: ordering between the targets survives filtering.
+    assert (
+        stats["deep target, stub-filtered"]["mean"]
+        > stats["depth-1, stub-filtered"]["mean"]
+    )
+    assert result.summary["shape_preserved"]

@@ -1,0 +1,29 @@
+"""FIG5 — incremental defense deployment, resistant depth-1 target.
+
+Paper ladder: baseline, random-100/500, the 17 tier-1s, then the degree
+cores (62/124/166/299 ASes). Random deployment has "negligible to minor
+effect"; tier-1 gives "the first real gain"; the 62-AS core shows "the
+most marked improvement"; more filters keep helping.
+"""
+
+from benchmarks.conftest import print_summary_table
+
+
+def test_fig5_deployment_ladder_resistant_target(run_experiment):
+    result = run_experiment("fig5")
+    print_summary_table(result)
+    factors = result.summary["improvement_factors"]
+    print()
+    print("improvement over baseline (mean successful pollution):")
+    for name, factor in factors.items():
+        print(f"  {name:>12}: {factor:7.1f}x")
+
+    random_factors = [f for name, f in factors.items() if name.startswith("random")]
+    tier1 = next(f for name, f in factors.items() if name.startswith("tier1"))
+    # Paper shapes: random ~ useless; tier-1 helps; core-62 is the jump;
+    # the ladder keeps improving through core-299.
+    assert max(random_factors) < 3.0
+    assert tier1 > max(random_factors)
+    assert factors["core-62"] > 2 * tier1
+    assert factors["core-299"] >= factors["core-62"]
+    assert result.summary["crossover_strategy"] is not None

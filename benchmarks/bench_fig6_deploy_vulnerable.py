@@ -1,0 +1,33 @@
+"""FIG6 — incremental defense deployment, very vulnerable deep target.
+
+Paper: same ladder, far worse starting point (tier-1-only still leaves an
+average successful attack polluting 52% of the internet); the 62-AS core
+flips the curve's concavity; ~299 deployers are needed for a major effect.
+"""
+
+from benchmarks.conftest import print_summary_table
+
+
+def test_fig6_deployment_ladder_vulnerable_target(run_experiment, suite):
+    result = run_experiment("fig6")
+    print_summary_table(result)
+    factors = result.summary["improvement_factors"]
+    print()
+    print("improvement over baseline (mean successful pollution):")
+    for name, factor in factors.items():
+        print(f"  {name:>12}: {factor:7.1f}x")
+
+    as_count = len(suite.graph)
+    baseline = result.summary["baseline"]
+    tier1_stats = next(
+        value for name, value in result.summary.items()
+        if name.startswith("tier1") and isinstance(value, dict)
+    )
+    # Paper: the deep target's baseline successful attack pollutes most of
+    # the internet, and tier-1-only still leaves ~half polluted.
+    assert baseline["mean_successful"] > 0.5 * as_count
+    assert tier1_stats["mean_successful"] > 0.2 * as_count
+    # The non-linear threshold at the high-degree core.
+    assert factors["core-62"] > 4.0
+    assert factors["core-299"] > factors["core-62"]
+    assert str(result.summary["crossover_strategy"]).startswith("core")

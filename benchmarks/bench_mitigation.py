@@ -1,0 +1,43 @@
+"""EXT-MIT — reactive mitigation (the taxonomy's third class).
+
+Section II's taxonomy: detection, reactive mitigation, proactive
+prevention. This extension measures the reactive moves after a detected
+hijack of the deep target: how much a core-subscriber purge recovers, and
+how completely deaggregation (the "promote" counter) wins traffic back —
+plus its collapse when the attacker escalates with the same
+more-specifics.
+"""
+
+from repro.defense.mitigation import deaggregation_response, purge_response
+from repro.defense.strategies import top_degree_deployment
+
+
+def test_ext_reactive_mitigation(benchmark, suite):
+    lab = suite.lab
+    target = suite.roles.deep_target
+    attacker = suite.roles.aggressive_attacker
+    responders = top_degree_deployment(lab.graph, 62).deployers
+
+    def run():
+        outcome = lab.origin_hijack(target, attacker)
+        purge = purge_response(lab, outcome, responders)
+        deagg = deaggregation_response(lab, outcome)
+        escalated = deaggregation_response(lab, outcome, attacker_escalates=True)
+        return outcome, purge, deagg, escalated
+
+    outcome, purge, deagg, escalated = benchmark.pedantic(
+        run, rounds=1, iterations=1
+    )
+    print(f"\nEXT-MIT: hijack of AS{target} polluted {outcome.pollution_count} ASes")
+    print(f"  purge by top-62 subscribers: {len(purge.recovered_asns)} recovered "
+          f"({purge.effectiveness():.0%}), {purge.residual_pollution} residual")
+    print(f"  deaggregation: {deagg.recovery_fraction:.0%} of polluted ASes "
+          f"recovered via {len(deagg.announced)} more-specifics")
+    print(f"  … under attacker escalation: {escalated.recovery_fraction:.0%} "
+          f"recovered, {len(escalated.contested_asns)} ASes contested")
+
+    # Shapes: purge at the core recovers a large share; deaggregation
+    # recovers (nearly) everyone; escalation replays the original contest.
+    assert purge.effectiveness() > 0.5
+    assert deagg.recovery_fraction > 0.95
+    assert escalated.recovery_fraction < deagg.recovery_fraction

@@ -1,0 +1,77 @@
+"""TAB1–TAB5 — the evaluation tables.
+
+TAB1/TAB2 (Section V): the top-5 attacks still potent against each target
+under the largest deployment — the paper's point that "a clever attacker
+armed with the same tools" can still find viable attacks.
+
+TAB3–TAB5 (Section VI): the top-5 attacks that completely escaped each
+detector configuration.
+"""
+
+from repro.util.tables import render_table
+
+
+def _print_potent(result):
+    rows = [
+        (row["attacker_asn"], row["pollution_count"], row["degree"], row["depth"])
+        for row in result.tables["potent_attacks"]
+    ]
+    print()
+    print(render_table(("ASN", "pollution", "degree", "depth"), rows, title=result.title))
+    return rows
+
+
+def test_tab1_potent_attacks_resistant_target(run_experiment):
+    result = run_experiment("tab1")
+    rows = _print_potent(result)
+    assert len(rows) <= 5
+    # Residual attackers exist and are sorted by achieved pollution.
+    sizes = [row[1] for row in rows]
+    assert sizes == sorted(sizes, reverse=True)
+
+
+def test_tab2_potent_attacks_vulnerable_target(run_experiment, suite):
+    result = run_experiment("tab2")
+    rows = _print_potent(result)
+    sizes = [row[1] for row in rows]
+    assert sizes == sorted(sizes, reverse=True)
+    # Paper shape: the still-potent attackers sit at low depth (their
+    # tables show depths 1-2) — deep attackers are already neutralized.
+    depths = [row[3] for row in rows if row[1] > 0]
+    if depths:
+        assert min(depths) <= 2
+
+
+def _print_undetected(result):
+    rows = [
+        (row["attacker_asn"], row["target_asn"], row["pollution_count"])
+        for row in result.tables["undetected"]
+    ]
+    print()
+    print(render_table(("attacker", "target", "pollution"), rows, title=result.title))
+    return rows
+
+
+def test_tab3_undetected_with_tier1_probes(run_experiment, suite):
+    result = run_experiment("tab3")
+    rows = _print_undetected(result)
+    assert rows, "tier-1 probes must miss attacks (paper: 34%)"
+    # Paper: huge attacks escape — the largest misses approach half the
+    # internet (20,306 of 42,697).
+    assert rows[0][2] > 0.1 * len(suite.graph)
+
+
+def test_tab4_undetected_with_bgpmon_probes(run_experiment):
+    result = run_experiment("tab4")
+    rows = _print_undetected(result)
+    assert result.summary["miss_rate"] > 0.0
+
+
+def test_tab5_undetected_with_top_degree_probes(run_experiment, suite):
+    result = run_experiment("tab5")
+    rows = _print_undetected(result)
+    # Best config: small miss rate, and what escapes is small (paper: the
+    # largest undetected attack is ~6% of the internet vs ~50% for tier-1).
+    assert result.summary["miss_rate"] < 0.10
+    if rows:
+        assert rows[0][2] < 0.25 * len(suite.graph)

@@ -1,0 +1,83 @@
+#!/usr/bin/env python3
+"""Detector audit: do your probes actually see attacks that matter?
+
+Reproduces the Section VI comparison and then goes one step further with
+the Section VII advice: run a greedy probe-placement pass and show how few
+well-chosen probes close the blind spots of an ad-hoc probe set.
+
+Run::
+
+    python examples/detector_audit.py [--attacks 1500]
+"""
+
+import argparse
+
+from repro.attacks import HijackLab
+from repro.core import compare_detectors, paper_probe_sets
+from repro.detection import (
+    DetectionStudy,
+    HijackDetector,
+    greedy_probe_placement,
+)
+from repro.topology import GeneratorConfig, generate_topology, transit_asns
+from repro.util import render_table
+
+
+def main() -> None:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--as-count", type=int, default=2000)
+    parser.add_argument("--seed", type=int, default=2014)
+    parser.add_argument("--attacks", type=int, default=1500)
+    args = parser.parse_args()
+
+    graph = generate_topology(GeneratorConfig.scaled(args.as_count, seed=args.seed))
+    lab = HijackLab(graph, seed=args.seed)
+
+    print(f"running {args.attacks} random transit-pair hijacks...")
+    comparison = compare_detectors(
+        lab, paper_probe_sets(lab, seed=args.seed),
+        attack_count=args.attacks, seed=args.seed,
+    )
+
+    rows = []
+    for study in comparison.studies:
+        summary = study.undetected_summary()
+        rows.append((
+            study.detector.probes.name,
+            len(study.detector.probes),
+            f"{summary['miss_rate']:.1%}",
+            round(summary["mean_pollution"], 0),
+            int(summary["max_pollution"]),
+        ))
+    print()
+    print(render_table(
+        ("probe set", "probes", "miss rate", "mean missed size", "max missed size"),
+        rows,
+        title="Detector configurations (paper: tier-1 misses 34%, "
+              "BGPmon-like 11%, top-degree-62 3%)",
+    ))
+
+    for study in comparison.studies:
+        top = study.top_undetected(3)
+        if top:
+            print(f"\nlargest attacks escaping {study.detector.probes.name}:")
+            for row in top:
+                print(f"  AS{row.attacker_asn} -> AS{row.target_asn}: "
+                      f"{row.pollution_count} ASes polluted, zero probes triggered")
+
+    # Section VII: extend the worst probe set greedily.
+    worst = comparison.worst()
+    workload = [report.outcome for report in worst.reports]
+    extended = greedy_probe_placement(
+        workload, sorted(transit_asns(graph)),
+        count=5, seed_probes=worst.detector.probes.asns,
+    )
+    improved = DetectionStudy.run(HijackDetector(extended), workload)
+    print(f"\ngreedy placement: adding "
+          f"{len(extended) - len(worst.detector.probes)} probes to "
+          f"{worst.detector.probes.name} cuts its miss rate "
+          f"{worst.miss_rate():.1%} -> {improved.miss_rate():.1%}")
+
+
+if __name__ == "__main__":
+    main()

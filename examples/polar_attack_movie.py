@@ -1,0 +1,57 @@
+#!/usr/bin/env python3
+"""Render the Fig. 1 polar propagation movie for one attack.
+
+Each generation of the hijack becomes an SVG frame: red lines are accepted
+(polluting) announcements, green lines rejections; ASes sit at a radius
+given by their depth (tier-1 on the rim) and their circle size reflects
+owned address space.
+
+Run::
+
+    python examples/polar_attack_movie.py [--outdir polar_frames]
+"""
+
+import argparse
+from pathlib import Path
+
+from repro.attacks import HijackLab
+from repro.core import resolve_roles
+from repro.topology import GeneratorConfig, generate_topology
+from repro.viz import PolarLayout, PolarRenderer, render_attack_frames
+
+
+def main() -> None:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--as-count", type=int, default=2000)
+    parser.add_argument("--seed", type=int, default=2014)
+    parser.add_argument("--target", type=int, default=None)
+    parser.add_argument("--attacker", type=int, default=None)
+    parser.add_argument("--outdir", type=Path, default=Path("polar_frames"))
+    args = parser.parse_args()
+
+    graph = generate_topology(GeneratorConfig.scaled(args.as_count, seed=args.seed))
+    lab = HijackLab(graph, seed=args.seed)
+    roles = resolve_roles(graph)
+    target = args.target if args.target is not None else roles.deep_target
+    attacker = args.attacker if args.attacker is not None else roles.aggressive_attacker
+
+    print(f"animating: AS{attacker} hijacks AS{target}'s "
+          f"{lab.target_prefix(target)}")
+    _legit, attack = lab.animate(target, attacker)
+    outcome = lab.origin_hijack(target, attacker)
+    print(f"converged in {attack.generations} generations; "
+          f"{outcome.pollution_count} ASes polluted "
+          f"({outcome.address_fraction:.0%} of the address space)")
+
+    layout = PolarLayout.compute(graph, plan=lab.plan, view=lab.view)
+    renderer = PolarRenderer(layout=layout, view=lab.view)
+    frames = render_attack_frames(
+        renderer, attack, args.outdir, attacker_asn=attacker, target_asn=target
+    )
+    print(f"wrote {len(frames)} frames:")
+    for frame in frames:
+        print(f"  {frame}")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,22 @@
+"""repro — reproduction of "Incremental Deployment Strategies for Effective
+Detection and Prevention of BGP Origin Hijacks" (Gersch, Massey,
+Papadopoulos; ICDCS 2014).
+
+The package layers:
+
+* :mod:`repro.prefixes` — IPv4 prefixes, longest-prefix matching, address plans
+* :mod:`repro.topology` — AS graph, CAIDA I/O, synthetic generator, metrics
+* :mod:`repro.bgp` — policy model, message-passing simulator, fast engine
+* :mod:`repro.attacks` — hijack scenarios and attacker sweeps
+* :mod:`repro.registry` — RPKI and ROVER route-origin publication
+* :mod:`repro.defense` — filtering / origin-validation deployment
+* :mod:`repro.detection` — hijack-detector probe analysis
+* :mod:`repro.core` — the paper's analyses (vulnerability, deployment,
+  detection, self-interest planning)
+* :mod:`repro.viz` — polar propagation graphs and SVG charts
+* :mod:`repro.experiments` — figure/table drivers and the result store
+"""
+
+__version__ = "1.0.0"
+
+__all__ = ["__version__"]

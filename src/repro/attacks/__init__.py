@@ -1,0 +1,23 @@
+"""Hijack scenarios, outcomes, the hijack laboratory and data-plane traces."""
+
+from repro.attacks.dataplane import (
+    DataplaneReport,
+    Fate,
+    ForwardingTrace,
+    dataplane_capture,
+    trace_forwarding,
+)
+from repro.attacks.lab import HijackLab
+from repro.attacks.scenario import AttackOutcome, HijackKind, HijackScenario
+
+__all__ = [
+    "AttackOutcome",
+    "DataplaneReport",
+    "Fate",
+    "ForwardingTrace",
+    "HijackKind",
+    "HijackLab",
+    "HijackScenario",
+    "dataplane_capture",
+    "trace_forwarding",
+]

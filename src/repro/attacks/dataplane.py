@@ -1,0 +1,127 @@
+"""Data-plane capture: where does the traffic actually go?
+
+The paper counts *control-plane* pollution — ASes whose RIB holds the
+bogus route. The data plane can be worse: an AS may keep its legitimate
+RIB entry while its next-hop (or a later hop) was polluted, so its packets
+still end up at the hijacker. In the announce-only model this genuinely
+happens (entries go stale when upstreams switch after exporting), and
+real-world hijack post-mortems measure exactly this "traffic capture".
+
+:func:`trace_forwarding` walks the forwarding chain hop by hop, and
+:func:`dataplane_capture` classifies every AS's traffic toward the
+hijacked prefix as DELIVERED (reaches the rightful origin), CAPTURED
+(reaches the attacker), or LOOPING/STUCK (a casualty of inconsistent
+state). Control-plane-polluted ASes forward into the polluted mesh and
+(loops aside) terminate at the attacker; the interesting readout is the
+*hidden* capture — ASes whose RIB still looks clean but whose packets are
+captured anyway, damage an RIB-based pollution count misses entirely.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass
+
+from repro.bgp.engine import HijackResult
+
+__all__ = ["Fate", "ForwardingTrace", "trace_forwarding", "DataplaneReport", "dataplane_capture"]
+
+
+class Fate(enum.Enum):
+    DELIVERED = "delivered"  # reaches the legitimate origin
+    CAPTURED = "captured"  # reaches the attacker
+    LOOPING = "looping"  # forwarding loop (inconsistent stale state)
+    STUCK = "stuck"  # no route at some hop
+
+
+@dataclass(frozen=True)
+class ForwardingTrace:
+    """One AS's forwarding path toward the contested prefix."""
+
+    source: int
+    fate: Fate
+    hops: tuple[int, ...]
+
+    @property
+    def hop_count(self) -> int:
+        return len(self.hops)
+
+
+def trace_forwarding(result: HijackResult, source: int) -> ForwardingTrace:
+    """Follow final-state next-hops from *source* until a terminal.
+
+    Each hop forwards per its own (possibly stale) RIB entry; the trace
+    terminates at the attacker, the legitimate origin, a routeless hop, or
+    when a node repeats (loop).
+    """
+    state = result.final
+    hops: list[int] = []
+    seen = {source}
+    current = source
+    while True:
+        if current == result.attacker:
+            return ForwardingTrace(source, Fate.CAPTURED, tuple(hops))
+        if current == result.target:
+            return ForwardingTrace(source, Fate.DELIVERED, tuple(hops))
+        if not state.has_route(current):
+            return ForwardingTrace(source, Fate.STUCK, tuple(hops))
+        next_hop = state.parent[current]
+        if next_hop < 0:
+            # An origin-class entry at a non-origin node cannot happen;
+            # defensive: treat as stuck.
+            return ForwardingTrace(source, Fate.STUCK, tuple(hops))
+        if next_hop in seen:
+            return ForwardingTrace(source, Fate.LOOPING, (*hops, next_hop))
+        seen.add(next_hop)
+        hops.append(next_hop)
+        current = next_hop
+
+
+@dataclass(frozen=True)
+class DataplaneReport:
+    """Fates of every AS's traffic toward the hijacked prefix."""
+
+    target: int
+    attacker: int
+    delivered: frozenset[int]
+    captured: frozenset[int]
+    looping: frozenset[int]
+    stuck: frozenset[int]
+    control_plane_polluted: frozenset[int]
+
+    @property
+    def captured_count(self) -> int:
+        return len(self.captured)
+
+    @property
+    def hidden_capture(self) -> frozenset[int]:
+        """ASes whose RIB still looks legitimate but whose traffic lands at
+        the attacker anyway — invisible to control-plane pollution counts."""
+        return self.captured - self.control_plane_polluted
+
+    def capture_inflation(self) -> float:
+        """Data-plane capture relative to control-plane pollution (≥ 1)."""
+        polluted = len(self.control_plane_polluted)
+        if polluted == 0:
+            return 1.0 if not self.captured else float("inf")
+        return len(self.captured) / polluted
+
+
+def dataplane_capture(result: HijackResult) -> DataplaneReport:
+    """Trace every node and aggregate traffic fates for one hijack."""
+    buckets: dict[Fate, set[int]] = {fate: set() for fate in Fate}
+    node_count = len(result.final.cls)
+    for node in range(node_count):
+        if node in (result.attacker, result.target):
+            continue
+        trace = trace_forwarding(result, node)
+        buckets[trace.fate].add(node)
+    return DataplaneReport(
+        target=result.target,
+        attacker=result.attacker,
+        delivered=frozenset(buckets[Fate.DELIVERED]),
+        captured=frozenset(buckets[Fate.CAPTURED]),
+        looping=frozenset(buckets[Fate.LOOPING]),
+        stuck=frozenset(buckets[Fate.STUCK]),
+        control_plane_polluted=result.polluted_nodes,
+    )

@@ -1,0 +1,262 @@
+"""The hijack laboratory: one facade over topology, routing and defense.
+
+:class:`HijackLab` is the main entry point of the library. It compiles a
+topology once, caches legitimate routing states per target (they are
+attacker-independent, which is what makes the paper's 42,696-attacker
+sweeps tractable), applies a :class:`~repro.defense.Defense`, and returns
+:class:`~repro.attacks.scenario.AttackOutcome` objects ready for the
+analysis layer.
+
+    lab = HijackLab(generate_topology())
+    outcome = lab.origin_hijack(target_asn=4000, attacker_asn=23)
+    print(outcome.pollution_count)
+"""
+
+from __future__ import annotations
+
+from collections import OrderedDict
+from typing import Iterable, Sequence
+
+from repro.attacks.scenario import AttackOutcome, HijackKind, HijackScenario
+from repro.bgp.engine import RouteState, RoutingEngine
+from repro.bgp.policy import PolicyConfig
+from repro.bgp.simulator import BGPSimulator, PropagationReport
+from repro.defense.deployment import Defense
+from repro.prefixes.addressing import AddressPlan
+from repro.prefixes.prefix import Prefix
+from repro.topology.asgraph import ASGraph
+from repro.topology.classify import transit_asns
+from repro.topology.generator import default_address_plan
+from repro.topology.view import RoutingView
+from repro.util.rng import make_rng
+
+__all__ = ["HijackLab"]
+
+_LEGIT_CACHE_SIZE = 64
+
+
+class HijackLab:
+    """Runs hijack scenarios against one topology under one defense."""
+
+    def __init__(
+        self,
+        graph: ASGraph,
+        *,
+        plan: AddressPlan | None = None,
+        policy: PolicyConfig | None = None,
+        defense: Defense | None = None,
+        seed: int = 0,
+    ) -> None:
+        self.graph = graph
+        self.plan = plan if plan is not None else default_address_plan(graph, seed=seed)
+        self.policy = policy or PolicyConfig()
+        self.defense = defense or Defense()
+        self.seed = seed
+        self.view = RoutingView.from_graph(graph)
+        self.engine = RoutingEngine(self.view, self.policy)
+        self._legit_cache: OrderedDict[int, RouteState] = OrderedDict()
+
+    # -- configuration -----------------------------------------------------------
+
+    def with_defense(self, defense: Defense) -> "HijackLab":
+        """A lab sharing this one's topology/plan but a different defense.
+
+        The legitimate-state cache is shared state-free (legit routing does
+        not depend on the defense, which only drops *bogus* routes), so the
+        clone re-uses it.
+        """
+        clone = HijackLab.__new__(HijackLab)
+        clone.graph = self.graph
+        clone.plan = self.plan
+        clone.policy = self.policy
+        clone.defense = defense
+        clone.seed = self.seed
+        clone.view = self.view
+        clone.engine = self.engine
+        clone._legit_cache = self._legit_cache
+        return clone
+
+    # -- internals -----------------------------------------------------------------
+
+    def _legitimate_state(self, target_node: int) -> RouteState:
+        cached = self._legit_cache.get(target_node)
+        if cached is not None:
+            self._legit_cache.move_to_end(target_node)
+            return cached
+        state = self.engine.converge(target_node)
+        self._legit_cache[target_node] = state
+        if len(self._legit_cache) > _LEGIT_CACHE_SIZE:
+            self._legit_cache.popitem(last=False)
+        return state
+
+    def _first_hop_filtered(self, attacker_asn: int) -> bool:
+        """Defensive stub filters stop a *stub* attacker's announcements to
+        its providers (the attack can still leak through peer links)."""
+        return self.defense.stub_filter and not self.graph.customers(attacker_asn)
+
+    def _run(self, scenario: HijackScenario) -> AttackOutcome:
+        view = self.view
+        target_node = view.node_of(scenario.target_asn)
+        attacker_node = view.node_of(scenario.attacker_asn)
+        if target_node == attacker_node:
+            raise ValueError(
+                "attacker and target collapse into one routing node "
+                f"(sibling group) for AS{scenario.attacker_asn}/AS{scenario.target_asn}"
+            )
+        blocked = self.defense.blocking_nodes(
+            view, scenario.prefix, scenario.attacker_asn
+        )
+        first_hop = self._first_hop_filtered(scenario.attacker_asn)
+        if scenario.kind is HijackKind.ORIGIN:
+            result = self.engine.hijack(
+                target_node,
+                attacker_node,
+                legitimate=self._legitimate_state(target_node),
+                blocked=blocked,
+                filter_first_hop_providers=first_hop,
+            )
+            polluted_nodes = result.polluted_nodes
+        else:
+            # A sub-prefix is a brand-new NLRI: no legitimate competitor
+            # exists, so the bogus announcement converges on a clean state
+            # and wins everywhere it reaches. Only blocking can contain it.
+            state = self.engine.converge(
+                attacker_node,
+                blocked=blocked,
+                filter_first_hop_providers=first_hop,
+            )
+            polluted_nodes = state.holders_of(attacker_node)
+        polluted_asns = view.expand(polluted_nodes) - {scenario.attacker_asn}
+        return AttackOutcome(
+            scenario=scenario,
+            polluted_asns=polluted_asns,
+            blocked_asns=view.expand(blocked),
+            address_fraction=self.plan.fraction_owned(polluted_asns),
+        )
+
+    # -- single attacks ---------------------------------------------------------------
+
+    def target_prefix(self, target_asn: int) -> Prefix:
+        """The target's primary (largest) allocated prefix."""
+        return self.plan.primary_prefix(target_asn)
+
+    def origin_hijack(
+        self, target_asn: int, attacker_asn: int, *, prefix: Prefix | None = None
+    ) -> AttackOutcome:
+        """Simulate the attacker announcing the target's own prefix."""
+        scenario = HijackScenario(
+            target_asn=target_asn,
+            attacker_asn=attacker_asn,
+            prefix=prefix if prefix is not None else self.target_prefix(target_asn),
+            kind=HijackKind.ORIGIN,
+        )
+        return self._run(scenario)
+
+    def subprefix_hijack(
+        self,
+        target_asn: int,
+        attacker_asn: int,
+        *,
+        extra_bits: int = 1,
+    ) -> AttackOutcome:
+        """Simulate a more-specific hijack of the target's primary prefix."""
+        parent = self.target_prefix(target_asn)
+        if parent.length + extra_bits > 32:
+            raise ValueError(f"cannot split /{parent.length} by {extra_bits} bits")
+        subprefix = next(parent.subnets(parent.length + extra_bits))
+        scenario = HijackScenario(
+            target_asn=target_asn,
+            attacker_asn=attacker_asn,
+            prefix=subprefix,
+            kind=HijackKind.SUBPREFIX,
+        )
+        return self._run(scenario)
+
+    # -- sweeps -------------------------------------------------------------------------
+
+    def attacker_pool(self, *, transit_only: bool = False) -> tuple[int, ...]:
+        """Candidate attackers: everyone, or the paper's optimistic
+        transit-only pool ("attacks now originate only from the transit
+        ASes", Section IV)."""
+        pool = transit_asns(self.graph) if transit_only else frozenset(self.graph.asns())
+        return tuple(sorted(pool))
+
+    def sweep_target(
+        self,
+        target_asn: int,
+        *,
+        attackers: Iterable[int] | None = None,
+        transit_only: bool = False,
+        sample: int | None = None,
+        seed: int | None = None,
+    ) -> dict[int, AttackOutcome]:
+        """Attack one target from many attackers; the Fig. 2–6 workload.
+
+        By default every other AS attacks once (the paper's worst-case
+        sweep). ``sample`` draws a deterministic random subset — the
+        benchmark harness uses it to keep wall-clock in check at identical
+        curve shapes.
+        """
+        if attackers is None:
+            pool: Sequence[int] = self.attacker_pool(transit_only=transit_only)
+        else:
+            pool = tuple(sorted(set(attackers)))
+        pool = tuple(
+            asn
+            for asn in pool
+            if asn != target_asn
+            and self.view.node_of(asn) != self.view.node_of(target_asn)
+        )
+        if sample is not None and sample < len(pool):
+            rng = make_rng(self.seed if seed is None else seed, "sweep", target_asn)
+            pool = tuple(sorted(rng.sample(pool, sample)))
+        prefix = self.target_prefix(target_asn)
+        outcomes: dict[int, AttackOutcome] = {}
+        for attacker_asn in pool:
+            outcomes[attacker_asn] = self.origin_hijack(
+                target_asn, attacker_asn, prefix=prefix
+            )
+        return outcomes
+
+    def random_attacks(
+        self,
+        count: int,
+        *,
+        transit_only: bool = True,
+        seed: int | None = None,
+    ) -> list[AttackOutcome]:
+        """Random attacker/target pairs: the Fig. 7 detection workload
+        ("8000 random simulated IP hijacks… chosen from the transit ASes")."""
+        pool = self.attacker_pool(transit_only=transit_only)
+        rng = make_rng(self.seed if seed is None else seed, "random-attacks", count)
+        outcomes: list[AttackOutcome] = []
+        while len(outcomes) < count:
+            target_asn, attacker_asn = rng.sample(pool, 2)
+            if self.view.node_of(target_asn) == self.view.node_of(attacker_asn):
+                continue
+            outcomes.append(self.origin_hijack(target_asn, attacker_asn))
+        return outcomes
+
+    # -- observable propagation (Fig. 1) ---------------------------------------------
+
+    def animate(
+        self, target_asn: int, attacker_asn: int
+    ) -> tuple[PropagationReport, PropagationReport]:
+        """Run the message simulator with event recording for both phases.
+
+        Returns the legitimate and attack propagation reports whose
+        per-generation events drive the polar visualisation.
+        """
+        prefix = self.target_prefix(target_asn)
+        simulator = BGPSimulator(
+            self.view,
+            self.policy,
+            validator=self.defense.validator(self.view, self.plan),
+        )
+        legit = simulator.announce(
+            self.view.node_of(target_asn), prefix, record_events=True
+        )
+        attack = simulator.announce(
+            self.view.node_of(attacker_asn), prefix, record_events=True
+        )
+        return legit, attack

@@ -1,0 +1,68 @@
+"""Hijack scenarios and their outcomes.
+
+A scenario names the players and the announced bogus prefix. The paper's
+primary workload is the **origin hijack** — the attacker announces exactly
+the target's prefix, and routers choose between two origins for the same
+NLRI. The **sub-prefix hijack** (mentioned throughout Sections VI–VIII) has
+the attacker announce a more-specific slice; it propagates as a fresh
+prefix with no legitimate competitor and steals traffic via longest-prefix
+match, which is why only validation-based defenses can stop it.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass
+
+from repro.prefixes.prefix import Prefix
+
+__all__ = ["HijackKind", "HijackScenario", "AttackOutcome"]
+
+
+class HijackKind(enum.Enum):
+    ORIGIN = "origin"
+    SUBPREFIX = "subprefix"
+
+
+@dataclass(frozen=True)
+class HijackScenario:
+    """One attack: *attacker_asn* announces *prefix* owned by *target_asn*."""
+
+    target_asn: int
+    attacker_asn: int
+    prefix: Prefix
+    kind: HijackKind = HijackKind.ORIGIN
+
+    def __post_init__(self) -> None:
+        if self.target_asn == self.attacker_asn:
+            raise ValueError("attacker and target must differ")
+
+
+@dataclass(frozen=True)
+class AttackOutcome:
+    """Result of simulating one scenario.
+
+    ``polluted_asns`` holds every AS whose RIB ends up pointing at the
+    attacker (the attacker itself excluded). ``address_fraction`` is the
+    share of allocated address space originated by polluted ASes — the
+    paper's "% of the internet address space" headline metric — and is
+    ``None`` when the lab has no address plan.
+    """
+
+    scenario: HijackScenario
+    polluted_asns: frozenset[int]
+    blocked_asns: frozenset[int]
+    address_fraction: float | None = None
+
+    @property
+    def pollution_count(self) -> int:
+        return len(self.polluted_asns)
+
+    @property
+    def succeeded(self) -> bool:
+        """Did the hijack pollute anyone at all?"""
+        return bool(self.polluted_asns)
+
+    def polluted_within(self, asns: frozenset[int]) -> int:
+        """Polluted count restricted to a region (Section VII's metric)."""
+        return len(self.polluted_asns & asns)

@@ -1,0 +1,35 @@
+"""BGP policy model, message-passing simulator and fast routing engine."""
+
+from repro.bgp.convergence import (
+    ConvergenceStats,
+    generation_wavefront,
+    measure_convergence,
+)
+from repro.bgp.engine import UNREACHABLE, HijackResult, RouteState, RoutingEngine
+from repro.bgp.policy import PolicyConfig, exports_to_peers_and_providers, prefers
+from repro.bgp.routes import Rib, Route
+from repro.bgp.simulator import (
+    BGPSimulator,
+    ConvergenceError,
+    PropagationEvent,
+    PropagationReport,
+)
+
+__all__ = [
+    "BGPSimulator",
+    "ConvergenceError",
+    "ConvergenceStats",
+    "generation_wavefront",
+    "measure_convergence",
+    "HijackResult",
+    "PolicyConfig",
+    "PropagationEvent",
+    "PropagationReport",
+    "Rib",
+    "Route",
+    "RouteState",
+    "RoutingEngine",
+    "UNREACHABLE",
+    "exports_to_peers_and_providers",
+    "prefers",
+]

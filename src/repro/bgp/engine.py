@@ -1,0 +1,291 @@
+"""The fast stable-outcome routing engine.
+
+The paper's sweeps attack one target from every other AS (42,696 attacks
+per vulnerability curve). Running the generation-stepped message simulator
+per attack would dominate the experiment budget, so this engine computes
+the *identical* final state directly.
+
+Why it is identical
+-------------------
+
+In the message simulator every announcement expands one hop per
+generation, so a candidate route of length *L* always arrives in
+generation *L*. Each node therefore sees its candidates in increasing
+length order (best class first within a generation) and installs a
+candidate exactly when it strictly beats the node's current entry. That is
+precisely a generalized Dijkstra ordered by ``(length, class)``: this
+engine pushes candidate routes through a bucket queue in that order and
+applies the same strict-preference install rule (:func:`repro.bgp.policy
+.prefers`), so per node the install sequence — and hence the final RIB —
+matches the simulator's. The equivalence is enforced by randomized
+property tests in ``tests/integration/test_engine_equivalence.py``.
+
+Hijacks reuse the same procedure: converge the legitimate origin from a
+clean state, then run the attacker's announcement *on top of* that state —
+the bogus route only displaces entries it strictly beats, ties keeping the
+incumbent, exactly the paper's announce-only RIB model.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Collection, Iterable
+
+from repro.bgp.policy import PolicyConfig, prefers
+from repro.topology.relationships import RouteClass
+from repro.topology.view import RoutingView
+
+__all__ = ["RouteState", "RoutingEngine", "UNREACHABLE"]
+
+UNREACHABLE = 1 << 30
+_NO_CLASS = 9  # worse than every RouteClass value
+
+_CLASS_ORIGIN = int(RouteClass.ORIGIN)
+_CLASS_CUSTOMER = int(RouteClass.CUSTOMER)
+_CLASS_PEER = int(RouteClass.PEER)
+_CLASS_PROVIDER = int(RouteClass.PROVIDER)
+
+
+@dataclass
+class RouteState:
+    """Per-node routing outcome for one prefix.
+
+    Arrays are indexed by routing-node index. ``cls`` holds
+    :class:`RouteClass` integer values (``_NO_CLASS`` when the node has no
+    route), ``length`` AS-path lengths (``UNREACHABLE`` when none),
+    ``parent`` the next-hop node (−1 for none/origin) and ``origin_of`` the
+    origin node of the installed route (−1 when none). After a hijack pass
+    the state mixes entries for the legitimate and the bogus origin.
+    """
+
+    origin: int
+    cls: list[int]
+    length: list[int]
+    parent: list[int]
+    origin_of: list[int]
+
+    @classmethod
+    def empty(cls, size: int, origin: int) -> "RouteState":
+        return cls(
+            origin=origin,
+            cls=[_NO_CLASS] * size,
+            length=[UNREACHABLE] * size,
+            parent=[-1] * size,
+            origin_of=[-1] * size,
+        )
+
+    def copy_for(self, origin: int) -> "RouteState":
+        return RouteState(
+            origin=origin,
+            cls=list(self.cls),
+            length=list(self.length),
+            parent=list(self.parent),
+            origin_of=list(self.origin_of),
+        )
+
+    # -- queries -------------------------------------------------------------
+
+    def has_route(self, node: int) -> bool:
+        return self.cls[node] != _NO_CLASS
+
+    def route_class(self, node: int) -> RouteClass | None:
+        value = self.cls[node]
+        return None if value == _NO_CLASS else RouteClass(value)
+
+    def holders_of(self, origin: int) -> frozenset[int]:
+        """Nodes (excluding *origin* itself) routing to *origin*."""
+        return frozenset(
+            node
+            for node, holder in enumerate(self.origin_of)
+            if holder == origin and node != origin
+        )
+
+    def path_from(self, node: int) -> tuple[int, ...]:
+        """The next-hop chain from *node* toward its route's origin.
+
+        This is the *forwarding* path through final-state parents. In the
+        announce-only model a neighbor may upgrade its route after
+        exporting, so this chain's hop count can differ from
+        ``length[node]`` (which is the install-time AS-path length, as in
+        the message simulator); use the simulator's recorded routes when
+        the exact announced AS path matters.
+        """
+        path: list[int] = []
+        current = node
+        seen = set()
+        while True:
+            parent = self.parent[current]
+            if parent < 0:
+                break
+            if parent in seen:  # defensive: corrupted parents
+                raise RuntimeError(f"parent cycle at node {parent}")
+            seen.add(parent)
+            path.append(parent)
+            current = parent
+        return tuple(path)
+
+
+class RoutingEngine:
+    """Direct computation of converged routing states over a view."""
+
+    def __init__(self, view: RoutingView, policy: PolicyConfig | None = None) -> None:
+        self.view = view
+        self.policy = policy or PolicyConfig()
+
+    # -- public API ------------------------------------------------------------
+
+    def converge(
+        self,
+        origin: int,
+        *,
+        base: RouteState | None = None,
+        blocked: Collection[int] = (),
+        filter_first_hop_providers: bool = False,
+    ) -> RouteState:
+        """Propagate an announcement from *origin* to the stable state.
+
+        ``base`` is the pre-existing RIB state the announcement competes
+        against (the legitimate state when *origin* is a hijacker); without
+        it the network starts clean. ``blocked`` nodes drop the
+        announcement entirely (prefix filters / ROV). With
+        ``filter_first_hop_providers`` the origin's providers drop its
+        direct announcement — the defensive stub filter of Section IV.
+        """
+        view = self.view
+        n = len(view)
+        state = base.copy_for(origin) if base is not None else RouteState.empty(n, origin)
+        cls = state.cls
+        length = state.length
+        parent = state.parent
+        origin_of = state.origin_of
+        is_tier1 = view.is_tier1
+        tier1_shortest = self.policy.tier1_shortest_path
+        blocked_set = frozenset(blocked)
+
+        # The origin installs its own route unconditionally.
+        cls[origin] = _CLASS_ORIGIN
+        length[origin] = 0
+        parent[origin] = -1
+        origin_of[origin] = origin
+
+        # Bucket queue keyed by (length, class): candidates are considered
+        # exactly in simulator arrival order. Each entry: (node, sender).
+        buckets: list[list[list[tuple[int, int]]] | None] = []
+
+        def push(node: int, route_class: int, route_length: int, sender: int) -> None:
+            while len(buckets) <= route_length:
+                buckets.append(None)
+            bucket = buckets[route_length]
+            if bucket is None:
+                bucket = [[], [], [], []]
+                buckets[route_length] = bucket
+            bucket[route_class].append((node, sender))
+
+        def push_exports(node: int, route_class: int, route_length: int) -> None:
+            exported_up = route_class in (_CLASS_ORIGIN, _CLASS_CUSTOMER)
+            next_length = route_length + 1
+            if exported_up:
+                for provider in view.providers[node]:
+                    push(provider, _CLASS_CUSTOMER, next_length, node)
+                for peer in view.peers[node]:
+                    push(peer, _CLASS_PEER, next_length, node)
+            for customer in view.customers[node]:
+                push(customer, _CLASS_PROVIDER, next_length, node)
+
+        # Initial exports from the origin.
+        origin_is_stub = not view.customers[origin]
+        if not (filter_first_hop_providers and origin_is_stub):
+            for provider in view.providers[origin]:
+                push(provider, _CLASS_CUSTOMER, 1, origin)
+        for peer in view.peers[origin]:
+            push(peer, _CLASS_PEER, 1, origin)
+        for customer in view.customers[origin]:
+            push(customer, _CLASS_PROVIDER, 1, origin)
+
+        route_length = 0
+        while route_length < len(buckets):
+            bucket = buckets[route_length]
+            if bucket is not None:
+                for route_class in (_CLASS_CUSTOMER, _CLASS_PEER, _CLASS_PROVIDER):
+                    for node, sender in bucket[route_class]:
+                        if node == origin or node in blocked_set:
+                            continue
+                        current_class = cls[node]
+                        if current_class != _NO_CLASS and not prefers(
+                            is_tier1[node],
+                            route_class,  # type: ignore[arg-type]
+                            route_length,
+                            current_class,  # type: ignore[arg-type]
+                            length[node],
+                            tier1_shortest_path=tier1_shortest,
+                        ):
+                            continue
+                        cls[node] = route_class
+                        length[node] = route_length
+                        parent[node] = sender
+                        origin_of[node] = origin
+                        push_exports(node, route_class, route_length)
+            route_length += 1
+        return state
+
+    def hijack(
+        self,
+        target: int,
+        attacker: int,
+        *,
+        legitimate: RouteState | None = None,
+        blocked: Collection[int] = (),
+        filter_first_hop_providers: bool = False,
+    ) -> "HijackResult":
+        """Run a full origin-hijack: legitimate convergence, then attack.
+
+        Pass a precomputed ``legitimate`` state (from :meth:`converge` on
+        the target) when sweeping many attackers against one target — it is
+        attacker-independent and dominates the cost otherwise.
+        """
+        if target == attacker:
+            raise ValueError("attacker and target must differ")
+        if legitimate is None:
+            legitimate = self.converge(target)
+        elif legitimate.origin != target:
+            raise ValueError(
+                f"legitimate state is for origin {legitimate.origin}, not {target}"
+            )
+        final = self.converge(
+            attacker,
+            base=legitimate,
+            blocked=blocked,
+            filter_first_hop_providers=filter_first_hop_providers,
+        )
+        return HijackResult(
+            target=target,
+            attacker=attacker,
+            legitimate=legitimate,
+            final=final,
+        )
+
+
+@dataclass
+class HijackResult:
+    """Outcome of one origin-hijack computation."""
+
+    target: int
+    attacker: int
+    legitimate: RouteState
+    final: RouteState
+
+    @property
+    def polluted_nodes(self) -> frozenset[int]:
+        """Routing nodes holding the bogus route (the attacker excluded)."""
+        return self.final.holders_of(self.attacker)
+
+    def polluted_asns(self, view: RoutingView) -> frozenset[int]:
+        """Polluted original ASNs (sibling groups expanded)."""
+        return view.expand(self.polluted_nodes)
+
+    def pollution_count(self, view: RoutingView) -> int:
+        return len(self.polluted_asns(view))
+
+    def is_polluted(self, nodes: Iterable[int]) -> dict[int, bool]:
+        polluted = self.polluted_nodes
+        return {node: node in polluted for node in nodes}

@@ -1,0 +1,256 @@
+"""Command-line interface: ``repro-bgp`` (or ``python -m repro``).
+
+Subcommands cover the everyday workflows:
+
+* ``generate``  — emit a calibrated synthetic topology in CAIDA format
+* ``summarize`` — headline statistics of a topology file
+* ``attack``    — simulate one origin hijack and print the outcome
+* ``sweep``     — vulnerability profile of one target
+* ``figure``    — regenerate a paper figure/table (or ``all``)
+* ``plan``      — run the Section VII self-interest playbook for a region
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from pathlib import Path
+
+from repro.attacks.lab import HijackLab
+from repro.core.selfinterest import SelfInterestPlanner
+from repro.core.vulnerability import profile_target
+from repro.experiments.config import ExperimentConfig
+from repro.experiments.store import ResultStore
+from repro.experiments.suite import ExperimentSuite
+from repro.topology.caida import dump_caida, load_caida
+from repro.topology.classify import summarize
+from repro.topology.generator import GeneratorConfig, generate_topology
+from repro.util.tables import render_table
+
+__all__ = ["main", "build_parser"]
+
+_EXPERIMENTS = (
+    "fig1", "fig2", "fig3", "fig4", "fig5", "fig6", "fig7",
+    "tab1", "tab2", "tab3", "tab4", "tab5", "nz_rehoming", "nz_filter",
+    "ext_subprefix",
+)
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro-bgp",
+        description="BGP origin-hijack deployment-strategy simulator (ICDCS 2014 reproduction)",
+    )
+    parser.add_argument("--seed", type=int, default=2014, help="experiment seed")
+    subparsers = parser.add_subparsers(dest="command", required=True)
+
+    generate = subparsers.add_parser("generate", help="generate a synthetic topology")
+    generate.add_argument("--as-count", type=int, default=4270)
+    generate.add_argument("--regions", type=int, default=None,
+                          help="region count (default: scaled to the topology size)")
+    generate.add_argument("-o", "--output", type=Path, required=True)
+
+    summarize_cmd = subparsers.add_parser("summarize", help="summarize a topology")
+    summarize_cmd.add_argument("-i", "--input", type=Path, help="CAIDA as-rel file (default: generate)")
+    summarize_cmd.add_argument("--as-count", type=int, default=4270)
+
+    attack = subparsers.add_parser("attack", help="simulate one origin hijack")
+    attack.add_argument("--target", type=int, required=True)
+    attack.add_argument("--attacker", type=int, required=True)
+    attack.add_argument("-i", "--input", type=Path)
+    attack.add_argument("--as-count", type=int, default=4270)
+    attack.add_argument("--subprefix", action="store_true", help="announce a more-specific instead")
+
+    sweep = subparsers.add_parser("sweep", help="vulnerability profile of a target")
+    sweep.add_argument("--target", type=int, required=True)
+    sweep.add_argument("-i", "--input", type=Path)
+    sweep.add_argument("--as-count", type=int, default=4270)
+    sweep.add_argument("--sample", type=int, default=None, help="attacker sample size")
+    sweep.add_argument("--transit-only", action="store_true")
+
+    figure = subparsers.add_parser("figure", help="regenerate a paper figure/table")
+    figure.add_argument("name", choices=(*_EXPERIMENTS, "all"))
+    figure.add_argument("--output-dir", type=Path, default=Path("results"))
+    figure.add_argument("--as-count", type=int, default=4270)
+    figure.add_argument("--sample", type=int, default=1200)
+    figure.add_argument("--attacks", type=int, default=8000, help="Fig. 7 workload size")
+    figure.add_argument("--store", type=Path, help="also record into this sqlite store")
+
+    plan = subparsers.add_parser("plan", help="Section VII self-interest plan for a region")
+    plan.add_argument("--region", required=True)
+    plan.add_argument("--target", type=int, default=None)
+    plan.add_argument("-i", "--input", type=Path)
+    plan.add_argument("--as-count", type=int, default=4270)
+
+    calibrate_cmd = subparsers.add_parser(
+        "calibrate", help="topology/model health report (paper references)"
+    )
+    calibrate_cmd.add_argument("-i", "--input", type=Path)
+    calibrate_cmd.add_argument("--as-count", type=int, default=4270)
+    calibrate_cmd.add_argument("--agreement-samples", type=int, default=10)
+    calibrate_cmd.add_argument("--path-samples", type=int, default=60)
+
+    report = subparsers.add_parser(
+        "report", help="run every experiment and write EXPERIMENTS.md"
+    )
+    report.add_argument("--output", type=Path, default=Path("EXPERIMENTS.md"))
+    report.add_argument("--output-dir", type=Path, default=Path("results"))
+    report.add_argument("--as-count", type=int, default=4270)
+    report.add_argument("--sample", type=int, default=1200)
+    report.add_argument("--attacks", type=int, default=8000)
+
+    return parser
+
+
+def _topology(args: argparse.Namespace):
+    if getattr(args, "input", None):
+        return load_caida(args.input)
+    return generate_topology(GeneratorConfig.scaled(args.as_count, seed=args.seed))
+
+
+def _cmd_generate(args: argparse.Namespace) -> int:
+    overrides = {} if args.regions is None else {"region_count": args.regions}
+    graph = generate_topology(
+        GeneratorConfig.scaled(args.as_count, seed=args.seed, **overrides)
+    )
+    dump_caida(graph, args.output)
+    print(f"wrote {len(graph)} ASes / {graph.edge_count()} links to {args.output}")
+    return 0
+
+
+def _cmd_summarize(args: argparse.Namespace) -> int:
+    graph = _topology(args)
+    stats = summarize(graph)
+    print(f"ASes: {stats.as_count}   links: {stats.link_count}")
+    print(f"tier-1: {len(stats.tier1)}   tier-2: {len(stats.tier2)}")
+    print(f"transit: {stats.transit_count} ({stats.transit_fraction:.1%})   stubs: {stats.stub_count}")
+    print(f"max depth: {stats.max_depth}")
+    print("depth histogram:", dict(sorted(stats.depth_histogram.items())))
+    return 0
+
+
+def _cmd_attack(args: argparse.Namespace) -> int:
+    lab = HijackLab(_topology(args), seed=args.seed)
+    if args.subprefix:
+        outcome = lab.subprefix_hijack(args.target, args.attacker)
+    else:
+        outcome = lab.origin_hijack(args.target, args.attacker)
+    print(f"{outcome.scenario.kind.value} hijack of {outcome.scenario.prefix} "
+          f"(AS{args.target}) by AS{args.attacker}")
+    print(f"polluted ASes: {outcome.pollution_count}")
+    if outcome.address_fraction is not None:
+        print(f"address space polluted: {outcome.address_fraction:.1%}")
+    return 0
+
+
+def _cmd_sweep(args: argparse.Namespace) -> int:
+    lab = HijackLab(_topology(args), seed=args.seed)
+    profile = profile_target(
+        lab, args.target, transit_only=args.transit_only, sample=args.sample
+    )
+    stats = profile.summary
+    print(f"target AS{args.target}: {stats.count} attacks, "
+          f"{stats.successful} successful")
+    print(f"mean pollution {stats.mean:.0f}, mean (successful) "
+          f"{stats.mean_successful:.0f}, max {stats.maximum}")
+    rows = [(x, y) for x, y in profile.curve.points()][:: max(1, len(profile.curve.points()) // 12)]
+    print(render_table(("min polluted", "attackers"), rows, title="CCDF (sampled rows)"))
+    return 0
+
+
+def _cmd_figure(args: argparse.Namespace) -> int:
+    config = ExperimentConfig(
+        topology=GeneratorConfig.scaled(args.as_count, seed=args.seed),
+        seed=args.seed,
+        output_dir=args.output_dir,
+        attacker_sample=args.sample,
+        detection_attacks=args.attacks,
+    )
+    suite = ExperimentSuite(config)
+    names = _EXPERIMENTS if args.name == "all" else (args.name,)
+    store = ResultStore(args.store) if args.store else None
+    for name in names:
+        result = getattr(suite, name)()
+        path = result.save_json(Path(args.output_dir) / "data")
+        if store is not None:
+            store.record(result, params={"as_count": args.as_count, "seed": args.seed})
+        print(f"{name}: wrote {path}" + (
+            f" and {len(result.artifacts)} artifact(s)" if result.artifacts else ""
+        ))
+    if store is not None:
+        store.close()
+    return 0
+
+
+def _cmd_plan(args: argparse.Namespace) -> int:
+    lab = HijackLab(_topology(args), seed=args.seed)
+    planner = SelfInterestPlanner(lab)
+    action_plan = planner.plan(args.region, target_asn=args.target)
+    print(action_plan.report())
+    return 0
+
+
+def _cmd_calibrate(args: argparse.Namespace) -> int:
+    from repro.experiments.calibration import calibrate
+
+    lab = HijackLab(_topology(args), seed=args.seed)
+    report = calibrate(
+        lab,
+        agreement_samples=args.agreement_samples,
+        path_samples=args.path_samples,
+        seed=args.seed,
+    )
+    print(report.render())
+    return 0 if report.healthy() else 1
+
+
+def _cmd_report(args: argparse.Namespace) -> int:
+    from repro.experiments.reportgen import render_experiments_markdown
+
+    config = ExperimentConfig(
+        topology=GeneratorConfig.scaled(args.as_count, seed=args.seed),
+        seed=args.seed,
+        output_dir=args.output_dir,
+        attacker_sample=args.sample,
+        detection_attacks=args.attacks,
+    )
+    suite = ExperimentSuite(config)
+    results = []
+    for name in _EXPERIMENTS:
+        print(f"running {name}…", flush=True)
+        result = getattr(suite, name)()
+        result.save_json(Path(args.output_dir) / "data")
+        results.append(result)
+    text = render_experiments_markdown(
+        results,
+        context={
+            "as_count": args.as_count,
+            "attacker_sample": args.sample,
+            "detection_attacks": args.attacks,
+            "seed": args.seed,
+        },
+    )
+    args.output.write_text(text, encoding="utf-8")
+    print(f"wrote {args.output}")
+    return 0
+
+
+_HANDLERS = {
+    "generate": _cmd_generate,
+    "summarize": _cmd_summarize,
+    "attack": _cmd_attack,
+    "sweep": _cmd_sweep,
+    "figure": _cmd_figure,
+    "plan": _cmd_plan,
+    "calibrate": _cmd_calibrate,
+    "report": _cmd_report,
+}
+
+
+def main(argv: list[str] | None = None) -> int:
+    args = build_parser().parse_args(argv)
+    return _HANDLERS[args.command](args)
+
+
+if __name__ == "__main__":  # pragma: no cover
+    sys.exit(main())

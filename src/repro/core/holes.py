@@ -1,0 +1,195 @@
+"""Residual-attack ("holes") analysis — the paper's future-work section.
+
+"Future work is required to understand the behavior of the internet
+topology with respect to the holes still present in an incremental
+deployment. Some origin and sub-prefix attacks will still get through…
+An analysis is desirable to understand these attacks, to determine how
+they remain invisible" (Section VIII).
+
+This module implements that analysis: for a deployed defense and a target,
+it finds every attack that still succeeds, extracts a *witness path* — a
+concrete chain of adopting ASes from a polluted AS back to the attacker
+that never touches a deployer — and classifies why the hole exists:
+
+* ``UNPUBLISHED``   — the target never published origins, so validators
+  saw NOT_FOUND and could not block at all;
+* ``NO_COVERAGE``   — the bogus route spread entirely through ASes outside
+  the deployment (the deployment simply isn't on the attack's paths);
+* ``PERIMETER_LEAK`` — deployers sat adjacent to the propagation tree and
+  dropped the route themselves, but undefended neighbors carried it past
+  them (adding those neighbors would close the hole).
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass
+from typing import Sequence
+
+from repro.attacks.lab import HijackLab
+from repro.attacks.scenario import AttackOutcome
+
+__all__ = ["HoleKind", "AttackHole", "HoleReport", "analyze_holes"]
+
+
+class HoleKind(enum.Enum):
+    UNPUBLISHED = "target-unpublished"
+    NO_COVERAGE = "deployment-not-on-path"
+    PERIMETER_LEAK = "leaked-past-deployers"
+
+
+@dataclass(frozen=True)
+class AttackHole:
+    """One attack that survived the deployment, with its explanation."""
+
+    attacker_asn: int
+    pollution_count: int
+    kind: HoleKind
+    witness_path: tuple[int, ...]
+    adjacent_deployers: tuple[int, ...]
+
+    def describe(self) -> str:
+        path = " -> ".join(f"AS{asn}" for asn in self.witness_path)
+        text = (
+            f"AS{self.attacker_asn} still pollutes {self.pollution_count} "
+            f"ASes ({self.kind.value}); witness: {path}"
+        )
+        if self.adjacent_deployers:
+            text += (
+                "; deployers one hop away: "
+                + ", ".join(f"AS{asn}" for asn in self.adjacent_deployers)
+            )
+        return text
+
+
+@dataclass(frozen=True)
+class HoleReport:
+    """All residual attacks against one target under one defense."""
+
+    target_asn: int
+    attacks_run: int
+    holes: tuple[AttackHole, ...]
+
+    @property
+    def residual_rate(self) -> float:
+        return len(self.holes) / self.attacks_run if self.attacks_run else 0.0
+
+    def by_kind(self) -> dict[HoleKind, int]:
+        counts: dict[HoleKind, int] = {}
+        for hole in self.holes:
+            counts[hole.kind] = counts.get(hole.kind, 0) + 1
+        return counts
+
+    def worst(self, count: int = 5) -> tuple[AttackHole, ...]:
+        return tuple(
+            sorted(self.holes, key=lambda hole: -hole.pollution_count)[:count]
+        )
+
+    def recommended_reinforcements(self, count: int = 5) -> tuple[int, ...]:
+        """ASes that would close the most perimeter leaks if they deployed:
+        the undefended witness-path members ranked by how many holes they
+        carry."""
+        scores: dict[int, int] = {}
+        for hole in self.holes:
+            for asn in hole.witness_path[1:-1]:
+                scores[asn] = scores.get(asn, 0) + 1
+        ranked = sorted(scores.items(), key=lambda item: (-item[1], item[0]))
+        return tuple(asn for asn, _count in ranked[:count])
+
+
+def _witness_path(lab: HijackLab, outcome: AttackOutcome) -> tuple[int, ...]:
+    """A concrete adopted-route chain: largest polluted AS → attacker.
+
+    Follows the final-state parents of the attack routes; every hop is an
+    AS that accepted and re-exported the bogus announcement, so the chain
+    is a real propagation witness that provably avoided every blocker.
+    """
+    view = lab.view
+    attacker_asn = outcome.scenario.attacker_asn
+    attacker_node = view.node_of(attacker_asn)
+    first_hop = lab.defense.stub_filter and not lab.graph.customers(attacker_asn)
+    result = lab.engine.hijack(
+        view.node_of(outcome.scenario.target_asn),
+        attacker_node,
+        blocked=view.nodes_of(
+            asn for asn in outcome.blocked_asns if view.has_asn(asn)
+        ),
+        filter_first_hop_providers=first_hop,
+    )
+    polluted = result.polluted_nodes
+    if not polluted:
+        return ()
+    # Deepest pollution: the node farthest from the attacker.
+    far = max(polluted, key=lambda node: (result.final.length[node], node))
+    chain = [far]
+    current = far
+    while current != attacker_node:
+        current = result.final.parent[current]
+        if current < 0 or len(chain) > len(view):
+            break
+        chain.append(current)
+    return tuple(view.asn_of(node) for node in chain)
+
+
+def analyze_holes(
+    lab: HijackLab,
+    target_asn: int,
+    *,
+    attackers: Sequence[int] | None = None,
+    transit_only: bool = True,
+    sample: int | None = None,
+    seed: int | None = None,
+) -> HoleReport:
+    """Sweep the target under the lab's defense and explain every survivor."""
+    outcomes = lab.sweep_target(
+        target_asn,
+        attackers=attackers,
+        transit_only=transit_only,
+        sample=sample,
+        seed=seed,
+    )
+    deployers = frozenset(lab.defense.strategy.deployers) | frozenset(
+        rule.filtering_asn for rule in lab.defense.manual_filters
+    )
+    holes: list[AttackHole] = []
+    for outcome in outcomes.values():
+        if not outcome.succeeded:
+            continue
+        witness = _witness_path(lab, outcome)
+        if not outcome.blocked_asns:
+            kind = HoleKind.UNPUBLISHED if deployers else HoleKind.NO_COVERAGE
+        else:
+            # Blockers existed for this announcement; did the spread pass
+            # right next to any of them?
+            neighborhood: set[int] = set()
+            for asn in witness:
+                neighborhood.update(lab.graph.neighbors(asn))
+            kind = (
+                HoleKind.PERIMETER_LEAK
+                if neighborhood & outcome.blocked_asns
+                else HoleKind.NO_COVERAGE
+            )
+        adjacent = tuple(
+            sorted(
+                {
+                    blocker
+                    for asn in witness
+                    for blocker in lab.graph.neighbors(asn)
+                    if blocker in outcome.blocked_asns
+                }
+            )
+        )
+        holes.append(
+            AttackHole(
+                attacker_asn=outcome.scenario.attacker_asn,
+                pollution_count=outcome.pollution_count,
+                kind=kind,
+                witness_path=witness,
+                adjacent_deployers=adjacent,
+            )
+        )
+    return HoleReport(
+        target_asn=target_asn,
+        attacks_run=len(outcomes),
+        holes=tuple(holes),
+    )

@@ -1,0 +1,92 @@
+"""Probe-count scaling: how many vantage points does detection need?
+
+The paper's conclusion: "hijack detection can be highly effective, but …
+once again a critical mass of probes must be present to avoid blind
+spots", and its Section VI advice is to "peer with as many high-degree,
+non-overlapping ASes as possible, rather than with random ASes". This
+module turns those statements into a measured curve: miss rate as a
+function of probe count, for three placement policies —
+
+* **top-degree** — the paper's recommendation,
+* **random**    — the organic/ad-hoc growth BGPmon exhibited,
+* **greedy**    — coverage-optimal placement trained on a workload
+  (the Section VII "determine new probes" step, as an upper bound).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Sequence
+
+from repro.attacks.scenario import AttackOutcome
+from repro.detection.analysis import DetectionStudy, greedy_probe_placement
+from repro.detection.detector import HijackDetector
+from repro.detection.probes import random_transit_probes, top_degree_probes
+from repro.topology.asgraph import ASGraph
+from repro.topology.classify import transit_asns
+
+__all__ = ["ProbeScalingCurve", "probe_scaling_study"]
+
+
+@dataclass(frozen=True)
+class ProbeScalingCurve:
+    """Miss rate per probe count for one placement policy."""
+
+    policy: str
+    points: tuple[tuple[int, float], ...]  # (probe count, miss rate)
+
+    def miss_rate_at(self, count: int) -> float:
+        for probe_count, miss_rate in self.points:
+            if probe_count == count:
+                return miss_rate
+        raise KeyError(f"no measurement at {count} probes")
+
+    def probes_needed(self, target_miss_rate: float) -> int | None:
+        """Smallest measured probe count achieving the target miss rate —
+        the "critical mass" readout."""
+        for probe_count, miss_rate in self.points:
+            if miss_rate <= target_miss_rate:
+                return probe_count
+        return None
+
+
+def probe_scaling_study(
+    graph: ASGraph,
+    workload: Sequence[AttackOutcome],
+    *,
+    counts: Sequence[int] = (4, 8, 16, 32, 62, 124),
+    seed: int = 0,
+    holdout_fraction: float = 0.5,
+) -> dict[str, ProbeScalingCurve]:
+    """Measure miss rate vs probe count for the three placement policies.
+
+    The greedy policy is trained on the first part of the workload and
+    evaluated (like the others) on the held-out remainder, so its curve is
+    an honest generalization estimate rather than training-set coverage.
+    """
+    if len(workload) < 4:
+        raise ValueError("workload too small to split")
+    split = max(1, int(len(workload) * holdout_fraction))
+    training, evaluation = workload[:split], workload[split:]
+    candidates = sorted(transit_asns(graph))
+
+    def miss_rate(probe_set) -> float:
+        return DetectionStudy.run(HijackDetector(probe_set), evaluation).miss_rate()
+
+    curves: dict[str, list[tuple[int, float]]] = {
+        "top-degree": [], "random": [], "greedy": [],
+    }
+    for count in counts:
+        bounded = min(count, len(candidates))
+        curves["top-degree"].append(
+            (bounded, miss_rate(top_degree_probes(graph, count=bounded)))
+        )
+        curves["random"].append(
+            (bounded, miss_rate(random_transit_probes(graph, bounded, seed=seed)))
+        )
+        greedy = greedy_probe_placement(training, candidates, count=bounded)
+        curves["greedy"].append((bounded, miss_rate(greedy)))
+    return {
+        policy: ProbeScalingCurve(policy=policy, points=tuple(points))
+        for policy, points in curves.items()
+    }

@@ -1,0 +1,175 @@
+"""Resolving the paper's named ASes to topological roles.
+
+The paper anchors its curves to specific ASNs — AS98 (depth-1, multihomed,
+attack-resistant), AS35 (depth-1, single-homed), AS55857 (depth-5, very
+vulnerable), AS4 (aggressive attacker) — but chose them *as representatives
+of topological classes* ("The ASes in figure 2 were chosen because they
+were all isolated within a tier-1 hierarchy. Each AS graphed is at a
+different depth"). On a synthetic topology the faithful reproduction is to
+resolve the class, not the number: this module finds a concrete AS for
+each role the experiments need.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.topology.asgraph import ASGraph
+from repro.topology.classify import (
+    effective_depth,
+    find_tier1,
+    find_tier2,
+    transit_asns,
+)
+
+__all__ = ["RoleCatalog", "resolve_roles"]
+
+
+class RoleResolutionError(LookupError):
+    """No AS in the topology matches a required role."""
+
+
+@dataclass(frozen=True)
+class RoleCatalog:
+    """Concrete ASNs standing in for the paper's named ASes.
+
+    Fig. 2 targets (tier-1 hierarchy): ``tier1_target``,
+    ``depth1_multi_stub`` (the AS98 analogue), ``depth1_single_stub``
+    (AS35), ``depth2_stub``, ``deep_target`` (the AS55857 analogue —
+    the deepest stub available, depth ≥ 4).
+
+    Fig. 3 targets (tier-2 hierarchy): ``tier2_target`` and
+    ``tier2_depth1_stub``.
+
+    ``aggressive_attacker`` is the AS4 analogue: a low-depth transit whose
+    providers/peers fan out widely.
+    """
+
+    tier1_target: int
+    depth1_single_stub: int
+    depth1_multi_stub: int
+    depth2_stub: int
+    deep_target: int
+    deep_target_depth: int
+    tier2_target: int
+    tier2_depth1_stub: int
+    aggressive_attacker: int
+
+    def fig2_targets(self) -> dict[str, int]:
+        return {
+            "tier-1": self.tier1_target,
+            "depth-1 single-homed stub": self.depth1_single_stub,
+            "depth-1 multi-homed stub": self.depth1_multi_stub,
+            "depth-2 stub": self.depth2_stub,
+            f"depth-{self.deep_target_depth} AS": self.deep_target,
+        }
+
+    def fig3_targets(self) -> dict[str, int]:
+        return {
+            "tier-2": self.tier2_target,
+            "tier-2 depth-1 stub": self.tier2_depth1_stub,
+            "depth-2 stub": self.depth2_stub,
+            f"depth-{self.deep_target_depth} AS": self.deep_target,
+        }
+
+
+def resolve_roles(graph: ASGraph) -> RoleCatalog:
+    """Find a representative AS for every experiment role."""
+    tier1 = find_tier1(graph)
+    tier2 = find_tier2(graph, tier1)
+    depth = effective_depth(graph, tier1, tier2)
+    transit = transit_asns(graph)
+    stubs = [asn for asn in graph.asns() if asn not in transit]
+
+    def pick(candidates, describe: str) -> int:
+        for asn in candidates:
+            return asn
+        raise RoleResolutionError(f"no AS matches role: {describe}")
+
+    def stub_at_depth(target_depth: int, *, providers: int | None = None,
+                      under_tier1: bool | None = None):
+        for asn in stubs:
+            if depth.get(asn) != target_depth:
+                continue
+            if providers is not None and len(graph.providers(asn)) != providers:
+                continue
+            if under_tier1 is not None:
+                direct_tier1 = bool(graph.providers(asn) & tier1)
+                if direct_tier1 != under_tier1:
+                    continue
+            yield asn
+
+    tier1_target = min(tier1)
+    depth1_single = pick(
+        stub_at_depth(1, providers=1, under_tier1=True),
+        "single-homed stub directly under a tier-1",
+    )
+    depth1_multi = pick(
+        stub_at_depth(1, providers=2, under_tier1=True),
+        "multi-homed stub directly under tier-1s",
+    )
+    depth2_stub = pick(stub_at_depth(2), "stub at depth 2")
+
+    deepest = max((d for asn, d in depth.items() if asn in stubs), default=0)
+    if deepest < 4:
+        raise RoleResolutionError(
+            f"topology has no deep stubs (max stub depth {deepest}); "
+            "increase the generator's chain_length"
+        )
+    deep_target = pick(
+        (asn for asn in stubs if depth.get(asn) == deepest),
+        f"stub at depth {deepest}",
+    )
+
+    tier2_target = (
+        max(tier2, key=lambda asn: (graph.degree(asn), -asn))
+        if tier2
+        else pick(iter(()), "tier-2 AS")
+    )
+    # The paper's Fig. 3 roles sit under *large* tier-2 carriers; among
+    # qualifying stubs prefer the one whose providers fan out the widest.
+    tier2_stub_candidates = [
+        asn
+        for asn in stubs
+        if depth.get(asn) == 1
+        and graph.providers(asn) & tier2
+        and not graph.providers(asn) & tier1
+    ]
+    if not tier2_stub_candidates:
+        raise RoleResolutionError(
+            "no stub directly under a tier-2 (and not under a tier-1)"
+        )
+    tier2_depth1_stub = max(
+        tier2_stub_candidates,
+        key=lambda asn: (
+            sum(graph.degree(p) for p in graph.providers(asn)),
+            -asn,
+        ),
+    )
+
+    # The AS4 analogue: among depth<=1 transit ASes, maximize the peering
+    # fan-out of the AS and its providers — the paper attributes attacker
+    # aggressiveness to short paths plus providers that "peer to thousands
+    # or hundreds of other ASes".
+    def fanout(asn: int) -> int:
+        total = len(graph.peers(asn))
+        for provider in graph.providers(asn):
+            total += len(graph.peers(provider))
+        return total
+
+    candidates = [
+        asn for asn in transit if depth.get(asn, 99) <= 1 and asn not in tier1
+    ]
+    aggressive = max(candidates, key=lambda asn: (fanout(asn), -asn))
+
+    return RoleCatalog(
+        tier1_target=tier1_target,
+        depth1_single_stub=depth1_single,
+        depth1_multi_stub=depth1_multi,
+        depth2_stub=depth2_stub,
+        deep_target=deep_target,
+        deep_target_depth=deepest,
+        tier2_target=tier2_target,
+        tier2_depth1_stub=tier2_depth1_stub,
+        aggressive_attacker=aggressive,
+    )

@@ -1,0 +1,36 @@
+"""Defensive deployments: strategies, origin validation, prefix filters."""
+
+from repro.defense.deployment import Defense, FilterRule
+from repro.defense.mitigation import (
+    DeaggregationResult,
+    PurgeResult,
+    deaggregation_response,
+    purge_response,
+)
+from repro.defense.strategies import (
+    DeploymentStrategy,
+    custom_deployment,
+    degree_threshold_deployment,
+    no_deployment,
+    paper_ladder,
+    random_deployment,
+    tier1_deployment,
+    top_degree_deployment,
+)
+
+__all__ = [
+    "DeaggregationResult",
+    "Defense",
+    "DeploymentStrategy",
+    "FilterRule",
+    "PurgeResult",
+    "deaggregation_response",
+    "purge_response",
+    "custom_deployment",
+    "degree_threshold_deployment",
+    "no_deployment",
+    "paper_ladder",
+    "random_deployment",
+    "tier1_deployment",
+    "top_degree_deployment",
+]

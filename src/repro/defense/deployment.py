@@ -1,0 +1,148 @@
+"""The deployed defense: who blocks which bogus announcements.
+
+A :class:`Defense` bundles the three blocking mechanisms the paper
+evaluates and turns them into the engine/simulator inputs:
+
+* **origin validation** at a set of deploying ASes, judged against a
+  registry (:class:`~repro.registry.roa.OriginAuthority` — RPKI, ROVER, or
+  a plain ROA table). Only INVALID announcements are dropped; unpublished
+  (NOT_FOUND) space cannot be protected.
+* **manual prefix filters** — Section VII's "build prefix filters" step:
+  an individual AS lists allowed origins for specific blocks (e.g. the
+  single filter installed at the New-Zealand hub in the paper's
+  experiment).
+* **defensive stub filters** — Section IV's optimistic scenario: transit
+  providers drop bogus announcements arriving directly from their stub
+  customers, which reduces the effective attacker pool to transit ASes.
+
+Blocking is *receiver-side*: a blocked AS neither installs nor propagates
+the announcement, exactly the "bogus route blocking" of Section V.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Callable
+
+from repro.bgp.routes import Route
+from repro.defense.strategies import DeploymentStrategy, no_deployment
+from repro.prefixes.addressing import AddressPlan
+from repro.prefixes.prefix import Prefix
+from repro.registry.roa import OriginAuthority, ValidationState
+from repro.topology.view import RoutingView
+
+__all__ = ["FilterRule", "Defense"]
+
+
+@dataclass(frozen=True)
+class FilterRule:
+    """A manual prefix filter at one AS: inside *prefix*, only
+    *allowed_origins* may originate."""
+
+    filtering_asn: int
+    prefix: Prefix
+    allowed_origins: frozenset[int]
+
+    def rejects(self, announced: Prefix, origin_asn: int) -> bool:
+        return self.prefix.contains(announced) and origin_asn not in self.allowed_origins
+
+
+@dataclass
+class Defense:
+    """A complete defensive configuration for hijack experiments."""
+
+    strategy: DeploymentStrategy = field(default_factory=no_deployment)
+    authority: OriginAuthority | None = None
+    manual_filters: tuple[FilterRule, ...] = ()
+    stub_filter: bool = False
+
+    def with_filters(self, *rules: FilterRule) -> "Defense":
+        return Defense(
+            strategy=self.strategy,
+            authority=self.authority,
+            manual_filters=(*self.manual_filters, *rules),
+            stub_filter=self.stub_filter,
+        )
+
+    # -- scenario-level blocking decisions -------------------------------------
+
+    def is_blockable(self, prefix: Prefix, origin_asn: int) -> bool:
+        """Would origin validation drop this announcement at a deployer?"""
+        if self.authority is None:
+            return False
+        return self.authority.validate(prefix, origin_asn) is ValidationState.INVALID
+
+    def blocking_asns(self, prefix: Prefix, origin_asn: int) -> frozenset[int]:
+        """Every AS that drops the announcement for (*prefix*, *origin*)."""
+        blockers: set[int] = set()
+        if self.is_blockable(prefix, origin_asn):
+            blockers.update(self.strategy.deployers)
+        for rule in self.manual_filters:
+            if rule.rejects(prefix, origin_asn):
+                blockers.add(rule.filtering_asn)
+        return frozenset(blockers)
+
+    def blocking_nodes(
+        self, view: RoutingView, prefix: Prefix, origin_asn: int
+    ) -> frozenset[int]:
+        """The same set, as routing-node indices for the fast engine."""
+        return frozenset(
+            view.node_of(asn)
+            for asn in self.blocking_asns(prefix, origin_asn)
+            if view.has_asn(asn)
+        )
+
+    # -- simulator integration --------------------------------------------------
+
+    def validator(
+        self, view: RoutingView, plan: AddressPlan | None = None
+    ) -> Callable[[int, Route], bool]:
+        """A per-announcement validator for :class:`BGPSimulator`.
+
+        The returned callable re-derives the blocking decision from each
+        candidate route's own (prefix, origin), so legitimate and bogus
+        announcements through the same simulator are treated correctly.
+        With ``stub_filter`` set and an address *plan* supplied, providers
+        additionally drop first-hop announcements from stub customers that
+        do not own the announced space (Section IV's optimistic scenario).
+        """
+        deployers = frozenset(
+            view.node_of(asn)
+            for asn in self.strategy.deployers
+            if view.has_asn(asn)
+        )
+        rules_by_node: dict[int, list[FilterRule]] = {}
+        for rule in self.manual_filters:
+            if view.has_asn(rule.filtering_asn):
+                node = view.node_of(rule.filtering_asn)
+                rules_by_node.setdefault(node, []).append(rule)
+        verdict_cache: dict[tuple[Prefix, int], bool] = {}
+
+        def rejects(node: int, route: Route) -> bool:
+            origin_asn = view.asn_of(route.origin)
+            if (
+                self.stub_filter
+                and plan is not None
+                and route.length == 1
+                and not view.customers[route.origin]
+                and route.origin in view.customers[node]
+                and plan.origin_of(route.prefix) != origin_asn
+            ):
+                return True
+            if node in deployers and self.authority is not None:
+                key = (route.prefix, origin_asn)
+                invalid = verdict_cache.get(key)
+                if invalid is None:
+                    invalid = (
+                        self.authority.validate(route.prefix, origin_asn)
+                        is ValidationState.INVALID
+                    )
+                    verdict_cache[key] = invalid
+                if invalid:
+                    return True
+            for rule in rules_by_node.get(node, ()):
+                if rule.rejects(route.prefix, origin_asn):
+                    return True
+            return False
+
+        return rejects

@@ -1,0 +1,161 @@
+"""Reactive mitigation: what the victim does *after* detection fires.
+
+The paper's taxonomy has three classes of defense — detection, **reactive
+mitigation**, and proactive prevention (Section II, citing route
+purge/promote). This module implements the two classic reactive moves so
+the full taxonomy is exercisable:
+
+* **purge** — alerted ASes (the detector's subscribers) drop the bogus
+  route and refuse to re-accept it; the network re-converges with those
+  ASes acting as blockers. Effectiveness depends entirely on *who*
+  responds — the same critical-mass story as proactive deployment, minus
+  the luxury of time.
+* **deaggregation** ("promote") — the victim re-announces more-specifics
+  of its own space, winning traffic back through longest-prefix match
+  (the counter actually used in famous hijack incidents). Its limits are
+  faithful too: recovery covers only the deaggregated span, and an
+  attacker can escalate by announcing the same more-specifics, where the
+  usual tie rules apply.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import TYPE_CHECKING, Iterable, Sequence
+
+from repro.prefixes.prefix import Prefix
+
+if TYPE_CHECKING:  # imported lazily at runtime to avoid a package cycle
+    from repro.attacks.lab import HijackLab
+    from repro.attacks.scenario import AttackOutcome
+
+__all__ = [
+    "PurgeResult",
+    "purge_response",
+    "DeaggregationResult",
+    "deaggregation_response",
+]
+
+
+@dataclass(frozen=True)
+class PurgeResult:
+    """Pollution before and after alerted ASes purge the bogus route."""
+
+    outcome_before: AttackOutcome
+    outcome_after: AttackOutcome
+    responders: frozenset[int]
+
+    @property
+    def recovered_asns(self) -> frozenset[int]:
+        return self.outcome_before.polluted_asns - self.outcome_after.polluted_asns
+
+    @property
+    def residual_pollution(self) -> int:
+        return self.outcome_after.pollution_count
+
+    def effectiveness(self) -> float:
+        before = self.outcome_before.pollution_count
+        return len(self.recovered_asns) / before if before else 0.0
+
+
+def purge_response(
+    lab: HijackLab,
+    outcome: AttackOutcome,
+    responders: Iterable[int],
+) -> PurgeResult:
+    """Re-converge the attack with *responders* rejecting the bogus route.
+
+    Models the steady state after a purge: responding ASes drop the
+    hijacked path and ignore re-announcements (operationally: a manual
+    filter installed on alert). Non-responders keep believing whatever
+    still reaches them.
+    """
+    from repro.defense.deployment import Defense, FilterRule
+
+    scenario = outcome.scenario
+    rules = tuple(
+        FilterRule(
+            filtering_asn=asn,
+            prefix=scenario.prefix,
+            allowed_origins=frozenset({scenario.target_asn}),
+        )
+        for asn in sorted(set(responders))
+    )
+    responding_lab = lab.with_defense(lab.defense.with_filters(*rules))
+    after = responding_lab.origin_hijack(
+        scenario.target_asn, scenario.attacker_asn, prefix=scenario.prefix
+    )
+    return PurgeResult(
+        outcome_before=outcome,
+        outcome_after=after,
+        responders=frozenset(rule.filtering_asn for rule in rules),
+    )
+
+
+@dataclass(frozen=True)
+class DeaggregationResult:
+    """Outcome of the victim's more-specific counter-announcement."""
+
+    parent_outcome: AttackOutcome
+    announced: tuple[Prefix, ...]
+    recovered_asns: frozenset[int]
+    contested_asns: frozenset[int]
+
+    @property
+    def recovery_fraction(self) -> float:
+        """Share of the originally polluted set won back by LPM."""
+        polluted = self.parent_outcome.polluted_asns
+        return len(self.recovered_asns & polluted) / len(polluted) if polluted else 0.0
+
+
+def deaggregation_response(
+    lab: HijackLab,
+    outcome: AttackOutcome,
+    *,
+    extra_bits: int = 1,
+    attacker_escalates: bool = False,
+) -> DeaggregationResult:
+    """The victim announces more-specifics of the hijacked prefix.
+
+    Each more-specific is a fresh NLRI with no competitor, so every AS the
+    announcement reaches routes the deaggregated span back to the victim —
+    regardless of its (still bogus) route for the parent prefix. With
+    ``attacker_escalates`` the hijacker announces the same more-specifics
+    and the contest replays per sub-prefix (victim first, as the incumbent
+    defender re-announcing its own space).
+    """
+    scenario = outcome.scenario
+    parent = scenario.prefix
+    if parent.length + extra_bits > 32:
+        raise ValueError(f"cannot deaggregate /{parent.length} by {extra_bits} bits")
+    view = lab.view
+    target_node = view.node_of(scenario.target_asn)
+    attacker_node = view.node_of(scenario.attacker_asn)
+    subprefixes: Sequence[Prefix] = tuple(parent.subnets(parent.length + extra_bits))
+
+    recovered: set[int] | None = None
+    contested: set[int] = set()
+    for subprefix in subprefixes:
+        blocked = lab.defense.blocking_nodes(view, subprefix, scenario.attacker_asn)
+        victim_state = lab.engine.converge(target_node)
+        if attacker_escalates:
+            final = lab.engine.converge(
+                attacker_node,
+                base=victim_state,
+                blocked=blocked,
+                filter_first_hop_providers=(
+                    lab.defense.stub_filter
+                    and not lab.graph.customers(scenario.attacker_asn)
+                ),
+            )
+            winners = view.expand(final.holders_of(target_node))
+            contested |= set(view.expand(final.holders_of(attacker_node)))
+        else:
+            winners = view.expand(victim_state.holders_of(target_node))
+        recovered = set(winners) if recovered is None else recovered & set(winners)
+    return DeaggregationResult(
+        parent_outcome=outcome,
+        announced=tuple(subprefixes),
+        recovered_asns=frozenset(recovered or set()),
+        contested_asns=frozenset(contested),
+    )

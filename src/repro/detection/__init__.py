@@ -1,0 +1,40 @@
+"""Hijack detection: probe sets, detectors, Fig. 7 analysis, placement."""
+
+from repro.detection.analysis import (
+    DetectionStudy,
+    UndetectedAttack,
+    greedy_probe_placement,
+)
+from repro.detection.detector import DetectionReport, HijackDetector
+from repro.detection.moas import (
+    MoasReport,
+    MoasVerdict,
+    anycast_state,
+    classify_moas,
+)
+from repro.detection.probes import (
+    ProbeSet,
+    bgpmon_like_probes,
+    custom_probes,
+    random_transit_probes,
+    tier1_probes,
+    top_degree_probes,
+)
+
+__all__ = [
+    "DetectionReport",
+    "DetectionStudy",
+    "HijackDetector",
+    "MoasReport",
+    "MoasVerdict",
+    "ProbeSet",
+    "anycast_state",
+    "classify_moas",
+    "UndetectedAttack",
+    "bgpmon_like_probes",
+    "custom_probes",
+    "greedy_probe_placement",
+    "random_transit_probes",
+    "tier1_probes",
+    "top_degree_probes",
+]

@@ -1,0 +1,232 @@
+"""A miniature DNS tree with DNSSEC-style authentication.
+
+ROVER publishes route origins in the reverse DNS and protects them with
+DNSSEC. The experiments only need the *security semantics* of that stack —
+delegation from a trust anchor, per-zone signing keys, DS-style chaining,
+and the distinction between authenticated data, bogus data and unsigned
+(insecure) data — so this module implements exactly those, with keyed
+BLAKE2 MACs standing in for RRSIG cryptography.
+
+Names are tuples of labels ordered root-first (``("arpa", "in-addr",
+"10")``), which keeps prefix-of checks trivial; :func:`parse_name` accepts
+the usual dotted presentation form.
+"""
+
+from __future__ import annotations
+
+import enum
+import hashlib
+import hmac
+from dataclasses import dataclass, field
+from typing import Iterable
+
+from repro.util.rng import make_rng
+
+__all__ = [
+    "DnsName",
+    "parse_name",
+    "format_name",
+    "Rrset",
+    "DnsZone",
+    "DnsTree",
+    "LookupStatus",
+    "LookupResult",
+]
+
+DnsName = tuple[str, ...]
+
+
+def parse_name(text: str) -> DnsName:
+    """Parse ``"a.b.c"`` into root-first label order ``("c", "b", "a")``."""
+    text = text.strip().rstrip(".")
+    if not text:
+        return ()
+    labels = [label.lower() for label in text.split(".")]
+    if any(not label for label in labels):
+        raise ValueError(f"empty label in {text!r}")
+    return tuple(reversed(labels))
+
+
+def format_name(name: DnsName) -> str:
+    """Presentation form (most-specific label first), e.g. ``10.in-addr.arpa.``"""
+    if not name:
+        return "."
+    return ".".join(reversed(name)) + "."
+
+
+def _sign(key: bytes, payload: bytes) -> bytes:
+    return hmac.new(key, payload, hashlib.blake2b).digest()[:16]
+
+
+@dataclass(frozen=True)
+class Rrset:
+    """All records of one type at one name, with its RRSIG stand-in."""
+
+    name: DnsName
+    rtype: str
+    values: tuple[str, ...]
+    signature: bytes
+
+    def payload(self) -> bytes:
+        return f"{format_name(self.name)}|{self.rtype}|{','.join(sorted(self.values))}".encode()
+
+
+class LookupStatus(enum.Enum):
+    """DNSSEC disposition of a lookup."""
+
+    SECURE = "secure"  # data present and the chain verified
+    NODATA = "nodata"  # chain verified; the name/type does not exist
+    INSECURE = "insecure"  # zone (or an ancestor) is unsigned
+    BOGUS = "bogus"  # signature or chain verification failed
+
+
+@dataclass(frozen=True)
+class LookupResult:
+    status: LookupStatus
+    values: tuple[str, ...] = ()
+
+    @property
+    def secure_values(self) -> tuple[str, ...]:
+        return self.values if self.status is LookupStatus.SECURE else ()
+
+
+@dataclass
+class DnsZone:
+    """One zone: an origin name, a signing key, and its rrsets."""
+
+    origin: DnsName
+    signed: bool = True
+    _key: bytes = b""
+    _rrsets: dict[tuple[DnsName, str], Rrset] = field(default_factory=dict)
+
+    def add_rrset(self, name: DnsName, rtype: str, values: Iterable[str]) -> Rrset:
+        if name[: len(self.origin)] != self.origin:
+            raise ValueError(
+                f"{format_name(name)} is outside zone {format_name(self.origin)}"
+            )
+        rrset = Rrset(name=name, rtype=rtype, values=tuple(values), signature=b"")
+        if self.signed:
+            rrset = Rrset(
+                name=name,
+                rtype=rtype,
+                values=rrset.values,
+                signature=_sign(self._key, rrset.payload()),
+            )
+        self._rrsets[(name, rtype.upper())] = rrset
+        return rrset
+
+    def remove_rrset(self, name: DnsName, rtype: str) -> None:
+        del self._rrsets[(name, rtype.upper())]
+
+    def get(self, name: DnsName, rtype: str) -> Rrset | None:
+        return self._rrsets.get((name, rtype.upper()))
+
+    def key_digest(self) -> str:
+        """The DS-style digest a parent publishes for this zone's key."""
+        return hashlib.blake2b(self._key, digest_size=8).hexdigest()
+
+
+class DnsTree:
+    """A set of zones under one trust anchor, resolved with verification."""
+
+    def __init__(self, root_origin: str | DnsName = (), *, seed: int = 0) -> None:
+        self.seed = seed
+        origin = parse_name(root_origin) if isinstance(root_origin, str) else root_origin
+        self._zones: dict[DnsName, DnsZone] = {}
+        self._root = self._create_zone(origin, signed=True)
+
+    # -- zone management -----------------------------------------------------
+
+    def _create_zone(self, origin: DnsName, *, signed: bool) -> DnsZone:
+        rng = make_rng(self.seed, "dns-zone", format_name(origin))
+        key = bytes(rng.randrange(256) for _ in range(32)) if signed else b""
+        zone = DnsZone(origin=origin, signed=signed, _key=key)
+        self._zones[origin] = zone
+        return zone
+
+    @property
+    def root(self) -> DnsZone:
+        return self._root
+
+    def zone(self, origin: str | DnsName) -> DnsZone:
+        name = parse_name(origin) if isinstance(origin, str) else origin
+        return self._zones[name]
+
+    def delegate(
+        self, parent_origin: str | DnsName, child_origin: str | DnsName, *, signed: bool = True
+    ) -> DnsZone:
+        """Create a child zone and publish its DS-style record in the parent."""
+        parent_name = (
+            parse_name(parent_origin) if isinstance(parent_origin, str) else parent_origin
+        )
+        child_name = (
+            parse_name(child_origin) if isinstance(child_origin, str) else child_origin
+        )
+        parent = self._zones.get(parent_name)
+        if parent is None:
+            raise ValueError(f"unknown parent zone {format_name(parent_name)}")
+        if child_name[: len(parent_name)] != parent_name or child_name == parent_name:
+            raise ValueError("child zone must be beneath the parent")
+        if child_name in self._zones:
+            raise ValueError(f"zone {format_name(child_name)} already exists")
+        child = self._create_zone(child_name, signed=signed)
+        if signed:
+            parent.add_rrset(child_name, "DS", [child.key_digest()])
+        else:
+            parent.add_rrset(child_name, "NS", ["unsigned-delegation"])
+        return child
+
+    # -- resolution -------------------------------------------------------------
+
+    def _authoritative_zone(self, name: DnsName) -> DnsZone:
+        """The most specific zone whose origin is a prefix of *name*."""
+        best = self._root
+        for origin, zone in self._zones.items():
+            if name[: len(origin)] == origin and len(origin) > len(best.origin):
+                best = zone
+        return best
+
+    def _chain_secure(self, zone: DnsZone) -> LookupStatus:
+        """Verify the delegation chain from the root down to *zone*."""
+        if not zone.signed:
+            return LookupStatus.INSECURE
+        current = zone
+        while current.origin != self._root.origin:
+            parent = self._authoritative_zone(current.origin[:-1])
+            ds = parent.get(current.origin, "DS")
+            if ds is None:
+                # Parent never vouched for the child key.
+                return (
+                    LookupStatus.INSECURE
+                    if parent.get(current.origin, "NS") is not None
+                    else LookupStatus.BOGUS
+                )
+            if not parent.signed:
+                return LookupStatus.INSECURE
+            if not self._rrset_valid(parent, ds):
+                return LookupStatus.BOGUS
+            if current.key_digest() not in ds.values:
+                return LookupStatus.BOGUS
+            current = parent
+        return LookupStatus.SECURE
+
+    @staticmethod
+    def _rrset_valid(zone: DnsZone, rrset: Rrset) -> bool:
+        return hmac.compare_digest(rrset.signature, _sign(zone._key, rrset.payload()))
+
+    def lookup(self, name: str | DnsName, rtype: str) -> LookupResult:
+        """Resolve and authenticate one rrset."""
+        query = parse_name(name) if isinstance(name, str) else name
+        zone = self._authoritative_zone(query)
+        chain = self._chain_secure(zone)
+        if chain is LookupStatus.BOGUS:
+            return LookupResult(LookupStatus.BOGUS)
+        rrset = zone.get(query, rtype)
+        if rrset is None:
+            status = LookupStatus.NODATA if chain is LookupStatus.SECURE else chain
+            return LookupResult(status)
+        if chain is LookupStatus.INSECURE:
+            return LookupResult(LookupStatus.INSECURE, rrset.values)
+        if not self._rrset_valid(zone, rrset):
+            return LookupResult(LookupStatus.BOGUS)
+        return LookupResult(LookupStatus.SECURE, rrset.values)

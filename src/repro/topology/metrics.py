@@ -1,0 +1,120 @@
+"""Reach and overlap metrics.
+
+Beyond depth, the paper identifies two secondary factors: "the reach and
+overlap of the tier-1 ASes involved in the attacks, where reach is defined
+to be the number of ASes that can be independently reached from an AS
+without the aid of peer ASes" (Section IV), and Section VII recommends
+re-homing "to reduce depth, and to increase non-overlapping reach".
+
+This module quantifies both: pairwise customer-cone overlap, the tier-1
+overlap matrix, and the *non-overlapping reach* an AS obtains from its
+provider set (the part of each provider's cone no other provider covers —
+the redundancy multi-homing actually buys).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Iterable, Mapping
+
+from repro.topology.asgraph import ASGraph
+from repro.topology.classify import customer_cone, find_tier1
+
+__all__ = [
+    "cone_overlap",
+    "overlap_matrix",
+    "ProviderRedundancy",
+    "provider_redundancy",
+    "rank_providers_by_added_reach",
+]
+
+
+def cone_overlap(graph: ASGraph, a: int, b: int) -> int:
+    """Number of ASes in both customer cones (excluding a and b)."""
+    shared = customer_cone(graph, a) & customer_cone(graph, b)
+    return len(shared - {a, b})
+
+
+def overlap_matrix(
+    graph: ASGraph, asns: Iterable[int] | None = None
+) -> Mapping[tuple[int, int], int]:
+    """Pairwise cone overlaps, keyed by ordered ``(low, high)`` ASN pairs.
+
+    Defaults to the tier-1 set — the paper's "reach and overlap of the
+    tier-1 ASes" factor in attacker aggressiveness.
+    """
+    members = sorted(asns if asns is not None else find_tier1(graph))
+    cones = {asn: customer_cone(graph, asn) for asn in members}
+    result: dict[tuple[int, int], int] = {}
+    for index, a in enumerate(members):
+        for b in members[index + 1:]:
+            shared = cones[a] & cones[b]
+            result[(a, b)] = len(shared - {a, b})
+    return result
+
+
+@dataclass(frozen=True)
+class ProviderRedundancy:
+    """How much independent reach an AS's provider set provides."""
+
+    asn: int
+    total_reach: int
+    exclusive_reach: Mapping[int, int]
+
+    @property
+    def redundancy(self) -> float:
+        """Fraction of the union cone covered by more than one provider.
+
+        0.0 means the providers' cones are disjoint (maximum independence);
+        close to 1.0 means the providers are interchangeable and
+        multi-homing adds little resistance — the paper's observation that
+        multi-homing is only "a very slight improvement" when the second
+        provider's reach overlaps the first's.
+        """
+        if self.total_reach == 0:
+            return 0.0
+        exclusive = sum(self.exclusive_reach.values())
+        return 1.0 - exclusive / self.total_reach
+
+
+def provider_redundancy(graph: ASGraph, asn: int) -> ProviderRedundancy:
+    """Measure the overlap structure of *asn*'s provider cones."""
+    providers = sorted(graph.providers(asn))
+    cones = {
+        provider: customer_cone(graph, provider) - {asn} for provider in providers
+    }
+    union: set[int] = set()
+    for cone in cones.values():
+        union |= cone
+    exclusive: dict[int, int] = {}
+    for provider, cone in cones.items():
+        others: set[int] = set()
+        for other, other_cone in cones.items():
+            if other != provider:
+                others |= other_cone
+        exclusive[provider] = len(cone - others)
+    return ProviderRedundancy(
+        asn=asn, total_reach=len(union), exclusive_reach=exclusive
+    )
+
+
+def rank_providers_by_added_reach(
+    graph: ASGraph, asn: int, candidates: Iterable[int]
+) -> list[tuple[int, int]]:
+    """Rank candidate new providers by the reach they would *add*.
+
+    Section VII: multi-home "to increase non-overlapping reach". Returns
+    ``(candidate, added_reach)`` pairs, best first — the added reach is the
+    candidate's cone minus everything the current providers already cover.
+    """
+    current: set[int] = set()
+    for provider in graph.providers(asn):
+        current |= customer_cone(graph, provider)
+    ranked = []
+    for candidate in candidates:
+        if candidate == asn or candidate in graph.providers(asn):
+            continue
+        added = customer_cone(graph, candidate) - current - {asn}
+        ranked.append((candidate, len(added)))
+    ranked.sort(key=lambda item: (-item[1], item[0]))
+    return ranked

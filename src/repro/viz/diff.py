@@ -1,0 +1,100 @@
+"""Before/after comparison frames.
+
+"These visualizations are useful for gaining insights on attack
+propagation, especially when comparing before & after scenarios to see the
+effect of prefix filters and where attacks are still getting through"
+(Fig. 1 caption). This module renders exactly that comparison: one polar
+frame coloring each AS by its fate across two runs of the same attack —
+polluted in both (the hole), protected by the new defense, or never
+polluted.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from pathlib import Path
+
+from repro.attacks.scenario import AttackOutcome
+from repro.viz.layout import PolarLayout
+from repro.viz.svg import SvgCanvas
+
+__all__ = ["DefenseDiff", "diff_outcomes", "render_diff_frame"]
+
+_STILL_POLLUTED = "#c0392b"  # red: the attack still gets through here
+_PROTECTED = "#27ae60"  # green: the defense saved this AS
+_NEWLY_POLLUTED = "#8e44ad"  # purple: polluted only under the new defense
+_CLEAN = "#b0bec5"  # gray: never polluted
+_BLOCKER = "#2980b9"  # blue ring: a blocking AS
+
+
+@dataclass(frozen=True)
+class DefenseDiff:
+    """Set algebra of two outcomes for the same scenario."""
+
+    still_polluted: frozenset[int]
+    protected: frozenset[int]
+    newly_polluted: frozenset[int]
+    blockers: frozenset[int]
+
+    @property
+    def protected_count(self) -> int:
+        return len(self.protected)
+
+    def effectiveness(self) -> float:
+        """Fraction of the originally polluted set the defense rescued."""
+        before = len(self.still_polluted) + len(self.protected)
+        return len(self.protected) / before if before else 0.0
+
+
+def diff_outcomes(before: AttackOutcome, after: AttackOutcome) -> DefenseDiff:
+    """Compare an undefended and a defended run of the same scenario."""
+    if before.scenario.target_asn != after.scenario.target_asn or (
+        before.scenario.attacker_asn != after.scenario.attacker_asn
+    ):
+        raise ValueError("outcomes describe different scenarios")
+    return DefenseDiff(
+        still_polluted=before.polluted_asns & after.polluted_asns,
+        protected=before.polluted_asns - after.polluted_asns,
+        newly_polluted=after.polluted_asns - before.polluted_asns,
+        blockers=after.blocked_asns,
+    )
+
+
+def render_diff_frame(
+    layout: PolarLayout,
+    diff: DefenseDiff,
+    *,
+    title: str,
+    size: float = 900.0,
+    path: str | Path | None = None,
+) -> SvgCanvas:
+    """Draw the comparison frame (optionally saving it to *path*)."""
+    canvas = SvgCanvas(size, size)
+    center = size / 2
+    scale = size / 2 - 40
+    rings = layout.max_depth + 1
+    for ring in range(1, rings + 1):
+        canvas.circle(center, center, scale * ring / rings, fill="none", stroke="#e0e0e0")
+    for asn, position in layout.positions.items():
+        x, y = position.xy(center=center, scale=scale)
+        if asn in diff.still_polluted:
+            color, radius = _STILL_POLLUTED, position.size
+        elif asn in diff.protected:
+            color, radius = _PROTECTED, position.size
+        elif asn in diff.newly_polluted:
+            color, radius = _NEWLY_POLLUTED, position.size
+        else:
+            color, radius = _CLEAN, max(1.0, position.size * 0.5)
+        canvas.circle(x, y, radius, fill=color, opacity=0.85)
+        if asn in diff.blockers:
+            canvas.circle(x, y, radius + 1.5, fill="none", stroke=_BLOCKER)
+    canvas.text(20, 28, title, size=16)
+    canvas.text(
+        20, size - 18,
+        "red = still polluted, green = protected by the defense, "
+        "gray = never polluted, blue ring = blocking AS",
+        size=11, fill="#777",
+    )
+    if path is not None:
+        canvas.save(path)
+    return canvas

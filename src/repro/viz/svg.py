@@ -1,0 +1,109 @@
+"""A small SVG document builder.
+
+matplotlib is not available in this environment, so the polar propagation
+graphs (Fig. 1) and the evaluation charts (Figs. 2–7) are rendered as
+standalone SVG documents through this deliberately tiny builder: just the
+primitives the figure code needs, emitted as clean, diffable markup.
+"""
+
+from __future__ import annotations
+
+from pathlib import Path
+from xml.sax.saxutils import escape, quoteattr
+
+__all__ = ["SvgCanvas"]
+
+
+def _fmt(value: float) -> str:
+    text = f"{value:.2f}"
+    return text.rstrip("0").rstrip(".") if "." in text else text
+
+
+class SvgCanvas:
+    """Accumulates SVG elements and serializes a standalone document."""
+
+    def __init__(self, width: float, height: float, *, background: str | None = "white") -> None:
+        self.width = width
+        self.height = height
+        self._elements: list[str] = []
+        if background:
+            self.rect(0, 0, width, height, fill=background, stroke="none")
+
+    # -- primitives ------------------------------------------------------------
+
+    def _attrs(self, **attributes: object) -> str:
+        parts = []
+        for key, value in attributes.items():
+            if value is None:
+                continue
+            name = key.replace("_", "-")
+            parts.append(f"{name}={quoteattr(_fmt(value) if isinstance(value, float) else str(value))}")
+        return " ".join(parts)
+
+    def line(self, x1: float, y1: float, x2: float, y2: float, *, stroke: str = "black",
+             width: float = 1.0, opacity: float | None = None) -> None:
+        self._elements.append(
+            f"<line x1={quoteattr(_fmt(x1))} y1={quoteattr(_fmt(y1))} "
+            f"x2={quoteattr(_fmt(x2))} y2={quoteattr(_fmt(y2))} "
+            + self._attrs(stroke=stroke, stroke_width=width, stroke_opacity=opacity)
+            + "/>"
+        )
+
+    def circle(self, cx: float, cy: float, r: float, *, fill: str = "black",
+               stroke: str = "none", opacity: float | None = None) -> None:
+        self._elements.append(
+            f"<circle cx={quoteattr(_fmt(cx))} cy={quoteattr(_fmt(cy))} r={quoteattr(_fmt(r))} "
+            + self._attrs(fill=fill, stroke=stroke, fill_opacity=opacity)
+            + "/>"
+        )
+
+    def rect(self, x: float, y: float, w: float, h: float, *, fill: str = "black",
+             stroke: str = "none") -> None:
+        self._elements.append(
+            f"<rect x={quoteattr(_fmt(x))} y={quoteattr(_fmt(y))} "
+            f"width={quoteattr(_fmt(w))} height={quoteattr(_fmt(h))} "
+            + self._attrs(fill=fill, stroke=stroke)
+            + "/>"
+        )
+
+    def polyline(self, points: list[tuple[float, float]], *, stroke: str = "black",
+                 width: float = 1.5, dash: str | None = None) -> None:
+        encoded = " ".join(f"{_fmt(x)},{_fmt(y)}" for x, y in points)
+        self._elements.append(
+            f"<polyline points={quoteattr(encoded)} fill=\"none\" "
+            + self._attrs(stroke=stroke, stroke_width=width, stroke_dasharray=dash)
+            + "/>"
+        )
+
+    def text(self, x: float, y: float, content: str, *, size: float = 12.0,
+             anchor: str = "start", fill: str = "#333", rotate: float | None = None) -> None:
+        transform = (
+            f"rotate({_fmt(rotate)} {_fmt(x)} {_fmt(y)})" if rotate is not None else None
+        )
+        self._elements.append(
+            f"<text x={quoteattr(_fmt(x))} y={quoteattr(_fmt(y))} "
+            + self._attrs(
+                font_size=size,
+                text_anchor=anchor,
+                fill=fill,
+                font_family="Helvetica, Arial, sans-serif",
+                transform=transform,
+            )
+            + f">{escape(content)}</text>"
+        )
+
+    # -- output ------------------------------------------------------------------
+
+    def to_string(self) -> str:
+        header = (
+            f"<svg xmlns=\"http://www.w3.org/2000/svg\" "
+            f"width=\"{_fmt(self.width)}\" height=\"{_fmt(self.height)}\" "
+            f"viewBox=\"0 0 {_fmt(self.width)} {_fmt(self.height)}\">"
+        )
+        return "\n".join([header, *self._elements, "</svg>"]) + "\n"
+
+    def save(self, path: str | Path) -> Path:
+        path = Path(path)
+        path.parent.mkdir(parents=True, exist_ok=True)
+        path.write_text(self.to_string(), encoding="utf-8")
+        return path

@@ -1,0 +1,154 @@
+"""The library's central correctness property: the fast engine computes
+exactly the stable state the message-passing simulator converges to.
+
+Random Gao–Rexford-shaped topologies (hierarchical provider DAG + random
+peering + occasional siblings) are generated with hypothesis; for random
+(target, attacker) pairs both engines run the full two-phase hijack and
+must agree on every node's installed origin, route class and path length.
+"""
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.bgp.engine import RoutingEngine
+from repro.bgp.policy import PolicyConfig
+from repro.bgp.simulator import BGPSimulator
+from repro.prefixes.prefix import Prefix
+from repro.topology.asgraph import ASGraph
+from repro.topology.relationships import Relationship
+from repro.topology.view import RoutingView
+
+PREFIX = Prefix.parse("10.0.0.0/8")
+
+
+@st.composite
+def random_topologies(draw):
+    """A random internet-shaped AS graph (guaranteed connected hierarchy)."""
+    size = draw(st.integers(min_value=4, max_value=28))
+    tier1_count = draw(st.integers(min_value=1, max_value=min(3, size - 1)))
+    graph = ASGraph()
+    for asn in range(tier1_count):
+        graph.add_as(asn, tier1=True)
+    for a in range(tier1_count):
+        for b in range(a + 1, tier1_count):
+            graph.add_relationship(a, b, Relationship.PEER)
+    for asn in range(tier1_count, size):
+        graph.add_as(asn)
+        provider_count = draw(st.integers(min_value=1, max_value=min(3, asn)))
+        providers = draw(
+            st.lists(
+                st.integers(min_value=0, max_value=asn - 1),
+                min_size=provider_count, max_size=provider_count,
+                unique=True,
+            )
+        )
+        for provider in providers:
+            graph.add_relationship(provider, asn, Relationship.CUSTOMER)
+    # Random lateral peering between non-tier-1 nodes.
+    peer_links = draw(st.integers(min_value=0, max_value=size))
+    for _ in range(peer_links):
+        a = draw(st.integers(min_value=tier1_count, max_value=size - 1))
+        b = draw(st.integers(min_value=tier1_count, max_value=size - 1))
+        if a != b and graph.relationship(a, b) is None:
+            graph.add_relationship(a, b, Relationship.PEER)
+    # Occasional sibling pair (exercises the collapse logic end to end).
+    if size > 6 and draw(st.booleans()):
+        a = draw(st.integers(min_value=tier1_count, max_value=size - 1))
+        b = draw(st.integers(min_value=tier1_count, max_value=size - 1))
+        if a != b and graph.relationship(a, b) is None:
+            graph.add_relationship(a, b, Relationship.SIBLING)
+    return graph
+
+
+def assert_states_agree(view, simulator, engine_state, prefix):
+    for node in range(len(view)):
+        route = simulator.route_to(prefix, node)
+        if route is None:
+            assert not engine_state.has_route(node), (
+                f"engine found a route at node {node}, simulator did not"
+            )
+            continue
+        assert engine_state.has_route(node), f"missing route at node {node}"
+        assert engine_state.origin_of[node] == route.origin, node
+        assert engine_state.cls[node] == int(route.route_class), node
+        assert engine_state.length[node] == route.length, node
+
+
+@settings(max_examples=120, deadline=None)
+@given(random_topologies(), st.data())
+def test_hijack_outcomes_identical(graph, data):
+    view = RoutingView.from_graph(graph)
+    if len(view) < 2:
+        return
+    nodes = range(len(view))
+    target = data.draw(st.sampled_from(nodes), label="target")
+    attacker = data.draw(st.sampled_from(nodes), label="attacker")
+    if target == attacker:
+        return
+
+    simulator = BGPSimulator(view)
+    simulator.announce(target, PREFIX)
+    report = simulator.announce(attacker, PREFIX)
+
+    engine = RoutingEngine(view)
+    result = engine.hijack(target, attacker)
+
+    assert result.polluted_nodes == frozenset(report.adopters)
+    assert_states_agree(view, simulator, result.final, PREFIX)
+
+
+@settings(max_examples=60, deadline=None)
+@given(random_topologies(), st.data())
+def test_legitimate_convergence_identical(graph, data):
+    view = RoutingView.from_graph(graph)
+    origin = data.draw(st.sampled_from(range(len(view))), label="origin")
+    simulator = BGPSimulator(view)
+    simulator.announce(origin, PREFIX)
+    state = RoutingEngine(view).converge(origin)
+    assert_states_agree(view, simulator, state, PREFIX)
+
+
+@settings(max_examples=40, deadline=None)
+@given(random_topologies(), st.data())
+def test_equivalence_without_tier1_exception(graph, data):
+    view = RoutingView.from_graph(graph)
+    if len(view) < 2:
+        return
+    target = data.draw(st.sampled_from(range(len(view))), label="target")
+    attacker = data.draw(st.sampled_from(range(len(view))), label="attacker")
+    if target == attacker:
+        return
+    policy = PolicyConfig(tier1_shortest_path=False)
+    simulator = BGPSimulator(view, policy)
+    simulator.announce(target, PREFIX)
+    report = simulator.announce(attacker, PREFIX)
+    result = RoutingEngine(view, policy).hijack(target, attacker)
+    assert result.polluted_nodes == frozenset(report.adopters)
+
+
+@settings(max_examples=40, deadline=None)
+@given(random_topologies(), st.data())
+def test_equivalence_with_blocking(graph, data):
+    view = RoutingView.from_graph(graph)
+    if len(view) < 3:
+        return
+    nodes = range(len(view))
+    target = data.draw(st.sampled_from(nodes), label="target")
+    attacker = data.draw(st.sampled_from(nodes), label="attacker")
+    if target == attacker:
+        return
+    blocked = frozenset(
+        data.draw(
+            st.sets(st.sampled_from(nodes), max_size=len(view) // 2),
+            label="blocked",
+        )
+    ) - {target, attacker}
+
+    def validator(node, route):
+        return node in blocked and route.origin == attacker
+
+    simulator = BGPSimulator(view, validator=validator)
+    simulator.announce(target, PREFIX)
+    report = simulator.announce(attacker, PREFIX)
+    result = RoutingEngine(view).hijack(target, attacker, blocked=blocked)
+    assert result.polluted_nodes == frozenset(report.adopters)

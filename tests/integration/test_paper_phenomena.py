@@ -1,0 +1,158 @@
+"""Integration tests pinning the paper's qualitative findings.
+
+These are the claims the reproduction must preserve regardless of the
+synthetic topology's exact numbers: vulnerability ordering by depth, the
+concavity flip, useless random deployment, the non-linear core-deployment
+threshold, the counterintuitive weakness of tier-1 probes, and the massive
+address-space capture of a successful deep-target hijack.
+"""
+
+import pytest
+
+from repro.core.deployment_analysis import compare_strategies
+from repro.core.detection_analysis import compare_detectors, paper_probe_sets
+from repro.core.roles import resolve_roles
+from repro.core.vulnerability import profile_target
+from repro.defense.strategies import paper_ladder
+from repro.registry.publication import PublicationState
+
+SAMPLE = 150
+
+
+@pytest.fixture(scope="module")
+def roles(medium_graph):
+    return resolve_roles(medium_graph)
+
+
+@pytest.fixture(scope="module")
+def authority(medium_lab):
+    return PublicationState.full(medium_lab.plan).table()
+
+
+@pytest.fixture(scope="module")
+def ladder_comparison(medium_lab, roles, authority):
+    return compare_strategies(
+        medium_lab,
+        roles.deep_target,
+        paper_ladder(medium_lab.graph),
+        authority,
+        transit_only=True,
+        sample=SAMPLE,
+        seed=0,
+    )
+
+
+class TestSectionIV:
+    def test_vulnerability_increases_with_depth(self, medium_lab, roles):
+        means = [
+            profile_target(medium_lab, asn, sample=SAMPLE, seed=0).summary.mean
+            for asn in (
+                roles.tier1_target,
+                roles.depth1_multi_stub,
+                roles.depth2_stub,
+                roles.deep_target,
+            )
+        ]
+        assert means[0] < means[-1]
+        assert means[1] < means[2] < means[3]
+
+    def test_concavity_flip_between_depth1_and_depth2(self, medium_lab, roles):
+        # Paper: "the concavity of the curve actually flips between depth
+        # 1 and 2" — operationally, the median attack against a depth-2
+        # target pollutes a far larger share than against depth-1.
+        def median_pollution(asn):
+            outcomes = medium_lab.sweep_target(asn, sample=SAMPLE, seed=0)
+            counts = sorted(o.pollution_count for o in outcomes.values())
+            return counts[len(counts) // 2]
+
+        assert median_pollution(roles.depth2_stub) > 1.5 * median_pollution(
+            roles.depth1_multi_stub
+        )
+
+    def test_tier2_hierarchy_mirrors_tier1(self, medium_lab, roles):
+        # Fig. 3's point: a stub under a tier-2 behaves like depth 1, not 2.
+        under_tier2 = profile_target(
+            medium_lab, roles.tier2_depth1_stub, sample=SAMPLE, seed=0
+        ).summary.mean
+        depth2 = profile_target(
+            medium_lab, roles.depth2_stub, sample=SAMPLE, seed=0
+        ).summary.mean
+        assert under_tier2 < depth2
+
+    def test_deep_hijack_captures_most_address_space(self, medium_lab, roles):
+        attacker = roles.aggressive_attacker
+        outcome = medium_lab.origin_hijack(roles.deep_target, attacker)
+        assert outcome.address_fraction > 0.5  # paper's Fig. 1: 96%
+
+
+class TestSectionV:
+    def test_random_deployment_nearly_useless(self, ladder_comparison):
+        factors = ladder_comparison.improvement_factors()
+        random_factors = [
+            value for name, value in factors.items() if name.startswith("random")
+        ]
+        assert random_factors
+        assert max(random_factors) < 3.0
+
+    def test_tier1_helps_but_not_enough(self, ladder_comparison):
+        factors = ladder_comparison.improvement_factors()
+        tier1 = next(v for k, v in factors.items() if k.startswith("tier1"))
+        core_62 = factors["core-62"]
+        assert 1.0 < tier1 < core_62
+
+    def test_nonlinear_threshold_at_core(self, ladder_comparison):
+        # The paper's headline: adding the high-degree core flips small
+        # improvements into large gains.
+        factors = ladder_comparison.improvement_factors()
+        assert factors["core-62"] > 4.0
+        crossover = ladder_comparison.crossover(factor=4.0)
+        assert crossover is not None
+        assert crossover.strategy.name.startswith("core")
+
+    def test_larger_core_tiers_keep_improving(self, ladder_comparison):
+        factors = ladder_comparison.improvement_factors()
+        assert factors["core-299"] >= factors["core-62"]
+        assert ladder_comparison.is_monotone_improving()
+
+    def test_residual_attacks_remain(self, ladder_comparison):
+        # "Although the situation has been drastically improved it is
+        # still not perfect."
+        final = ladder_comparison.evaluations[-1]
+        assert final.profile.summary.maximum > 0
+
+
+class TestSectionVI:
+    @pytest.fixture(scope="class")
+    def comparison(self, medium_lab):
+        return compare_detectors(
+            medium_lab, paper_probe_sets(medium_lab), attack_count=600, seed=3
+        )
+
+    def test_tier1_probes_are_worst(self, comparison):
+        rates = comparison.miss_rates()
+        tier1 = next(v for k, v in rates.items() if k.startswith("tier1"))
+        assert tier1 == max(rates.values())
+        assert tier1 > 0.1  # a substantial blind spot, like the paper's 34%
+
+    def test_top_degree_probes_are_best(self, comparison):
+        rates = comparison.miss_rates()
+        top = next(v for k, v in rates.items() if k.startswith("top-degree"))
+        assert top == min(rates.values())
+        assert top < 0.15  # paper: 3%
+
+    def test_large_attacks_escape_tier1_probes(self, comparison):
+        tier1_study = next(
+            s for s in comparison.studies
+            if s.detector.probes.name.startswith("tier1")
+        )
+        summary = tier1_study.undetected_summary()
+        # Paper: undetected attacks averaged thousands of polluted ASes,
+        # max near 50% of the internet.
+        assert summary["max_pollution"] > 0.2 * 900
+
+    def test_more_probes_triggered_for_larger_attacks(self, comparison):
+        for study in comparison.studies:
+            means = study.mean_size_by_probe_count()
+            positive = [bucket for bucket in means if bucket > 0]
+            if len(positive) >= 3:
+                assert means[max(positive)] > means[min(positive)]

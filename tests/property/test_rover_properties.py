@@ -1,0 +1,43 @@
+"""Property-based tests for ROVER's reverse-DNS naming convention."""
+
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.prefixes.prefix import Prefix
+from repro.registry.rover import prefix_from_name, reverse_name
+
+prefixes = st.builds(
+    Prefix.from_host,
+    st.integers(min_value=0, max_value=(1 << 32) - 1),
+    st.integers(min_value=1, max_value=32),
+)
+
+
+@given(prefixes)
+def test_name_round_trips(prefix):
+    assert prefix_from_name(reverse_name(prefix)) == prefix
+
+
+@given(prefixes, prefixes)
+def test_names_are_injective(a, b):
+    if a != b:
+        assert reverse_name(a) != reverse_name(b)
+
+
+@given(prefixes)
+def test_label_shape(prefix):
+    name = reverse_name(prefix)
+    assert name[:2] == ("arpa", "in-addr")
+    whole_octets, residual = divmod(prefix.length, 8)
+    expected = 2 + whole_octets + (1 + residual if residual else 0)
+    assert len(name) == expected
+    assert ("m" in name) == bool(residual)
+
+
+@given(prefixes)
+def test_supernet_name_is_dns_ancestor_at_octet_boundaries(prefix):
+    # For whole-octet prefixes, the /8 ancestor's name is a label-prefix of
+    # the name — the property that lets ROVER validators walk up the tree.
+    if prefix.length % 8 == 0 and prefix.length > 8:
+        top = Prefix.from_host(prefix.network, 8)
+        assert reverse_name(prefix)[: len(reverse_name(top))] == reverse_name(top)

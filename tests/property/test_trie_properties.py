@@ -1,0 +1,83 @@
+"""Property-based tests: the trie must behave exactly like a brute-force
+dictionary of prefixes."""
+
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.prefixes.prefix import Prefix
+from repro.prefixes.trie import PrefixTrie
+
+prefixes = st.builds(
+    Prefix.from_host,
+    st.integers(min_value=0, max_value=(1 << 32) - 1),
+    st.integers(min_value=0, max_value=32),
+)
+prefix_lists = st.lists(prefixes, max_size=40)
+
+
+def build(entries):
+    trie: PrefixTrie[int] = PrefixTrie()
+    reference: dict[Prefix, int] = {}
+    for index, prefix in enumerate(entries):
+        trie.insert(prefix, index)
+        reference[prefix] = index
+    return trie, reference
+
+
+@given(prefix_lists)
+def test_matches_reference_dict(entries):
+    trie, reference = build(entries)
+    assert len(trie) == len(reference)
+    for prefix, value in reference.items():
+        assert trie[prefix] == value
+    assert dict(trie.items()) == reference
+
+
+@given(prefix_lists, st.integers(min_value=0, max_value=(1 << 32) - 1))
+def test_longest_match_is_brute_force_max(entries, address):
+    trie, reference = build(entries)
+    candidates = [p for p in reference if p.contains_address(address)]
+    result = trie.longest_match(address)
+    if not candidates:
+        assert result is None
+    else:
+        expected = max(candidates, key=lambda p: p.length)
+        assert result[0].length == expected.length
+        assert result[0].contains_address(address)
+
+
+@given(prefix_lists, prefixes)
+def test_covering_is_brute_force_filter(entries, query):
+    trie, reference = build(entries)
+    expected = sorted(
+        (p for p in reference if p.contains(query)), key=lambda p: p.length
+    )
+    found = [p for p, _ in trie.covering(query)]
+    assert found == expected
+
+
+@given(prefix_lists, prefixes)
+def test_covered_by_is_brute_force_filter(entries, query):
+    trie, reference = build(entries)
+    expected = sorted(p for p in reference if query.contains(p))
+    found = sorted(p for p, _ in trie.covered_by(query))
+    assert found == expected
+
+
+@given(prefix_lists, st.data())
+def test_removal_restores_absence(entries, data):
+    trie, reference = build(entries)
+    if not reference:
+        return
+    victim = data.draw(st.sampled_from(sorted(reference)))
+    assert trie.remove(victim) == reference[victim]
+    del reference[victim]
+    assert victim not in trie
+    assert dict(trie.items()) == reference
+
+
+@given(prefix_lists)
+def test_items_sorted(entries):
+    trie, _ = build(entries)
+    keys = [prefix for prefix, _ in trie.items()]
+    assert keys == sorted(keys)

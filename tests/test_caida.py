@@ -1,0 +1,89 @@
+"""Unit tests for CAIDA AS-relationship file I/O."""
+
+import gzip
+
+import pytest
+
+from repro.topology.caida import (
+    CaidaFormatError,
+    dump_caida,
+    dumps_caida,
+    load_caida,
+    loads_caida,
+)
+from repro.topology.relationships import Relationship
+
+SAMPLE = """# serial-1 sample
+1|2|0
+1|10|-1
+2|20|-1
+10|30|-1
+30|31|1
+"""
+
+
+class TestParsing:
+    def test_loads_basic(self):
+        graph = loads_caida(SAMPLE)
+        assert len(graph) == 6
+        assert graph.relationship(1, 2) is Relationship.PEER
+        assert graph.relationship(1, 10) is Relationship.CUSTOMER
+        assert graph.relationship(10, 1) is Relationship.PROVIDER
+        assert graph.relationship(30, 31) is Relationship.SIBLING
+
+    def test_comments_and_blank_lines_skipped(self):
+        graph = loads_caida("# hi\n\n1|2|0\n")
+        assert graph.edge_count() == 1
+
+    def test_serial2_source_column(self):
+        graph = loads_caida("1|2|-1|bgp\n")
+        assert graph.relationship(1, 2) is Relationship.CUSTOMER
+
+    @pytest.mark.parametrize("line", ["1|2", "1|2|9", "a|2|0", "1|2|0|x|y"])
+    def test_malformed_lines_raise(self, line):
+        with pytest.raises(CaidaFormatError):
+            loads_caida(line)
+
+    def test_conflicting_records_strict(self):
+        text = "1|2|0\n1|2|-1\n"
+        with pytest.raises(Exception):
+            loads_caida(text, strict=True)
+        graph = loads_caida(text, strict=False)
+        assert graph.relationship(1, 2) is Relationship.PEER  # first wins
+
+
+class TestRoundTrip:
+    def test_dump_load_preserves_graph(self, mini_graph):
+        text = dumps_caida(mini_graph)
+        restored = loads_caida(text)
+        assert restored.asns() == mini_graph.asns()
+        assert restored.edge_count() == mini_graph.edge_count()
+        for a, b, rel in mini_graph.edges():
+            assert restored.relationship(a, b) is rel
+
+    def test_serial2_emits_source(self, mini_graph):
+        text = dumps_caida(mini_graph, serial=2, source="unit")
+        data_lines = [line for line in text.splitlines() if not line.startswith("#")]
+        assert all(line.endswith("|unit") for line in data_lines)
+        restored = loads_caida(text)
+        assert restored.edge_count() == mini_graph.edge_count()
+
+    def test_unsupported_serial(self, mini_graph):
+        with pytest.raises(ValueError):
+            dumps_caida(mini_graph, serial=3)
+
+    def test_file_round_trip(self, mini_graph, tmp_path):
+        path = tmp_path / "topo.txt"
+        dump_caida(mini_graph, path)
+        assert load_caida(path).edge_count() == mini_graph.edge_count()
+
+    def test_gzip_round_trip(self, mini_graph, tmp_path):
+        path = tmp_path / "topo.txt.gz"
+        dump_caida(mini_graph, path)
+        with gzip.open(path, "rt") as handle:
+            assert handle.readline().startswith("#")
+        assert load_caida(path).edge_count() == mini_graph.edge_count()
+
+    def test_sibling_round_trip(self):
+        graph = loads_caida("5|6|1\n")
+        assert loads_caida(dumps_caida(graph)).relationship(5, 6) is Relationship.SIBLING

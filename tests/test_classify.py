@@ -1,0 +1,105 @@
+"""Unit tests for topology classification: tier-1, depth, reach, cones."""
+
+from repro.topology.asgraph import ASGraph
+from repro.topology.classify import (
+    customer_cone,
+    depth_to_tier1,
+    effective_depth,
+    find_tier1,
+    find_tier2,
+    reach,
+    stub_asns,
+    summarize,
+    transit_asns,
+)
+from repro.topology.relationships import Relationship
+
+
+class TestTier1:
+    def test_marked_tier1_wins(self, mini_graph):
+        assert find_tier1(mini_graph) == frozenset({1, 2})
+
+    def test_inference_without_marks(self):
+        graph = ASGraph()
+        for asn in (1, 2, 3, 10, 11):
+            graph.add_as(asn)
+        for a, b in ((1, 2), (1, 3), (2, 3)):
+            graph.add_relationship(a, b, Relationship.PEER)
+        graph.add_relationship(1, 10, Relationship.CUSTOMER)
+        graph.add_relationship(2, 11, Relationship.CUSTOMER)
+        assert find_tier1(graph) == frozenset({1, 2, 3})
+
+    def test_inference_excludes_non_clique_members(self):
+        graph = ASGraph()
+        for asn in (1, 2, 3):
+            graph.add_as(asn)
+        graph.add_relationship(1, 2, Relationship.PEER)
+        # AS3 has no providers but doesn't peer with the clique.
+        tier1 = find_tier1(graph)
+        assert 3 not in tier1
+
+    def test_empty_graph(self):
+        assert find_tier1(ASGraph()) == frozenset()
+
+
+class TestDepth:
+    def test_depth_to_tier1(self, mini_graph):
+        depth = depth_to_tier1(mini_graph)
+        assert depth[1] == 0 and depth[2] == 0
+        assert depth[10] == 1 and depth[20] == 1
+        assert depth[30] == 2 and depth[50] == 3
+        assert depth[70] == 1
+
+    def test_effective_depth_anchors_on_tier2(self, mini_graph):
+        # 10 and 20 qualify as tier-2 (direct tier-1 customers with degree
+        # >= threshold), so depths shift down by one below them.
+        tier2 = find_tier2(mini_graph, min_degree=3)
+        assert tier2 == frozenset({10, 20})
+        depth = effective_depth(mini_graph, tier2=tier2)
+        assert depth[10] == 0
+        assert depth[30] == 1
+        assert depth[50] == 2
+        assert depth[80] == 1
+
+    def test_find_tier2_requires_customers(self, mini_graph):
+        # AS70 is a direct tier-1 customer but has no customers itself.
+        assert 70 not in find_tier2(mini_graph, min_degree=1)
+
+
+class TestConesAndReach:
+    def test_customer_cone(self, mini_graph):
+        assert customer_cone(mini_graph, 10) == frozenset({10, 30, 50, 80})
+        assert customer_cone(mini_graph, 50) == frozenset({50})
+
+    def test_reach_excludes_self(self, mini_graph):
+        assert reach(mini_graph, 10) == 3
+        assert reach(mini_graph, 50) == 0
+
+    def test_reach_ignores_peers(self, mini_graph):
+        # 10 peers with 20 but 20's cone is not reachable without peers.
+        assert 40 not in customer_cone(mini_graph, 10)
+
+
+class TestTransitSplit:
+    def test_transit_asns(self, mini_graph):
+        assert transit_asns(mini_graph) == frozenset({1, 2, 10, 20, 30, 40})
+
+    def test_stub_asns(self, mini_graph):
+        assert stub_asns(mini_graph) == frozenset({50, 60, 70, 80})
+
+    def test_partition_is_total(self, mini_graph):
+        assert transit_asns(mini_graph) | stub_asns(mini_graph) == frozenset(
+            mini_graph.asns()
+        )
+
+
+class TestSummarize:
+    def test_summary_fields(self, mini_graph):
+        stats = summarize(mini_graph)
+        assert stats.as_count == 10
+        assert stats.link_count == mini_graph.edge_count()
+        assert stats.tier1 == frozenset({1, 2})
+        assert stats.transit_count == 6
+        assert stats.stub_count == 4
+        assert stats.transit_fraction == 0.6
+        assert sum(stats.depth_histogram.values()) == stats.as_count

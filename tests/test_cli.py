@@ -1,0 +1,92 @@
+"""Unit tests for the command-line interface."""
+
+import json
+
+import pytest
+
+from repro.cli import build_parser, main
+
+
+@pytest.fixture
+def topo_file(tmp_path):
+    path = tmp_path / "topo.txt"
+    assert main(["generate", "--as-count", "400", "-o", str(path)]) == 0
+    return path
+
+
+class TestParser:
+    def test_requires_command(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args([])
+
+    def test_figure_choices(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["figure", "fig99"])
+
+
+class TestCommands:
+    def test_generate_writes_caida_file(self, topo_file):
+        lines = topo_file.read_text().splitlines()
+        assert lines[0].startswith("#")
+        assert all("|" in line for line in lines[1:])
+
+    def test_summarize_from_file(self, topo_file, capsys):
+        assert main(["summarize", "-i", str(topo_file)]) == 0
+        output = capsys.readouterr().out
+        assert "ASes: 400" in output
+        assert "tier-1:" in output
+
+    def test_attack(self, topo_file, capsys):
+        assert main(["attack", "--target", "300", "--attacker", "30",
+                     "-i", str(topo_file)]) == 0
+        output = capsys.readouterr().out
+        assert "polluted ASes:" in output
+
+    def test_attack_subprefix(self, topo_file, capsys):
+        assert main(["attack", "--target", "300", "--attacker", "30",
+                     "--subprefix", "-i", str(topo_file)]) == 0
+        assert "subprefix hijack" in capsys.readouterr().out
+
+    def test_sweep(self, topo_file, capsys):
+        assert main(["sweep", "--target", "300", "--sample", "40",
+                     "-i", str(topo_file)]) == 0
+        output = capsys.readouterr().out
+        assert "mean pollution" in output
+        assert "CCDF" in output
+
+    def test_figure_writes_json_and_store(self, tmp_path, capsys):
+        store_path = tmp_path / "store.sqlite"
+        assert main([
+            "figure", "tab1",
+            "--as-count", "400",
+            "--sample", "30",
+            "--attacks", "50",
+            "--output-dir", str(tmp_path),
+            "--store", str(store_path),
+        ]) == 0
+        data = json.loads((tmp_path / "data" / "tab1.json").read_text())
+        assert data["experiment_id"] == "tab1"
+        from repro.experiments.store import ResultStore
+
+        with ResultStore(store_path) as store:
+            assert store.latest("tab1") is not None
+
+    def test_report(self, tmp_path, capsys):
+        output = tmp_path / "EXPERIMENTS.md"
+        assert main([
+            "report",
+            "--as-count", "500",
+            "--sample", "40",
+            "--attacks", "60",
+            "--output", str(output),
+            "--output-dir", str(tmp_path / "results"),
+        ]) == 0
+        text = output.read_text()
+        assert "# EXPERIMENTS" in text
+        assert "FIG7" in text and "NZ_REHOMING" in text
+
+    def test_plan(self, capsys):
+        # Regions are generator metadata (the CAIDA format cannot carry
+        # them), so plan against an in-process generated topology.
+        assert main(["plan", "--region", "R00", "--as-count", "400"]) == 0
+        assert "Self-interest action plan" in capsys.readouterr().out

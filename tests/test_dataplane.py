@@ -1,0 +1,94 @@
+"""Unit tests for data-plane forwarding traces and capture analysis."""
+
+import pytest
+
+from repro.attacks.dataplane import Fate, dataplane_capture, trace_forwarding
+from repro.bgp.engine import RoutingEngine
+from repro.topology.view import RoutingView
+from repro.util.rng import make_rng
+
+
+@pytest.fixture
+def mini_result(mini_view):
+    engine = RoutingEngine(mini_view)
+    return engine.hijack(mini_view.node_of(50), mini_view.node_of(60))
+
+
+class TestTraceForwarding:
+    def test_clean_node_delivers(self, mini_view, mini_result):
+        # AS30 keeps its customer route straight to the target.
+        trace = trace_forwarding(mini_result, mini_view.node_of(30))
+        assert trace.fate is Fate.DELIVERED
+        assert trace.hops[-1] == mini_view.node_of(50)
+
+    def test_polluted_node_captured(self, mini_view, mini_result):
+        # AS40 adopted the bogus route (customer route to attacker 60).
+        trace = trace_forwarding(mini_result, mini_view.node_of(40))
+        assert trace.fate is Fate.CAPTURED
+        assert trace.hops[-1] == mini_view.node_of(60)
+
+    def test_transitively_captured_via_polluted_upstream(self, mini_view, mini_result):
+        # Tier-1 AS2 is polluted; its customer path runs through AS20,
+        # which is also polluted — packets end at the attacker.
+        trace = trace_forwarding(mini_result, mini_view.node_of(2))
+        assert trace.fate is Fate.CAPTURED
+
+    def test_hop_count(self, mini_view, mini_result):
+        trace = trace_forwarding(mini_result, mini_view.node_of(40))
+        assert trace.hop_count == len(trace.hops) >= 1
+
+
+class TestDataplaneCapture:
+    def test_partition_is_complete(self, mini_view, mini_result):
+        report = dataplane_capture(mini_result)
+        everyone = (
+            report.delivered | report.captured | report.looping | report.stuck
+        )
+        assert len(everyone) == len(mini_view) - 2  # minus attacker, target
+        assert report.delivered.isdisjoint(report.captured)
+
+    def test_mini_topology_fates(self, mini_view, mini_result):
+        report = dataplane_capture(mini_result)
+        captured_asns = {mini_view.asn_of(node) for node in report.captured}
+        # Control-plane polluted: {40, 20, 2}; all forward to the attacker.
+        assert {40, 20, 2} <= captured_asns
+        assert not report.looping and not report.stuck
+
+    def test_hidden_capture_excludes_polluted(self, mini_result):
+        report = dataplane_capture(mini_result)
+        assert report.hidden_capture.isdisjoint(report.control_plane_polluted)
+
+    def test_capture_inflation_at_least_one(self, mini_result):
+        report = dataplane_capture(mini_result)
+        assert report.capture_inflation() >= 1.0
+
+    def test_no_attack_everything_delivers(self, mini_view):
+        engine = RoutingEngine(mini_view)
+        # A "hijack" that the defense fully blocks: everyone still delivers.
+        everyone = frozenset(range(len(mini_view))) - {mini_view.node_of(60)}
+        result = engine.hijack(
+            mini_view.node_of(50), mini_view.node_of(60), blocked=everyone
+        )
+        report = dataplane_capture(result)
+        assert report.captured == frozenset()
+        assert report.capture_inflation() == 1.0
+
+
+class TestMediumScale:
+    def test_hidden_capture_exists_or_capture_matches(self, medium_lab):
+        """On a realistic topology, data-plane capture meets or exceeds
+        control-plane pollution across sampled attacks."""
+        view = medium_lab.view
+        engine = medium_lab.engine
+        rng = make_rng(19, "dataplane")
+        inflations = []
+        for _ in range(8):
+            target, attacker = rng.sample(range(len(view)), 2)
+            result = engine.hijack(target, attacker)
+            report = dataplane_capture(result)
+            # Polluted nodes (loops aside) are captured on the data plane.
+            assert report.control_plane_polluted <= (
+                report.captured | report.looping
+            )
+            inflations.append(report.capture_inflation())
+        assert all(value >= 1.0 for value in inflations)

@@ -1,0 +1,63 @@
+"""Unit tests for the before/after defense comparison view."""
+
+import pytest
+
+from repro.attacks.lab import HijackLab
+from repro.defense.deployment import Defense
+from repro.defense.strategies import custom_deployment
+from repro.registry.publication import PublicationState
+from repro.viz.diff import diff_outcomes, render_diff_frame
+from repro.viz.layout import PolarLayout
+
+
+@pytest.fixture
+def outcomes(mini_graph):
+    lab = HijackLab(mini_graph, seed=1)
+    before = lab.origin_hijack(50, 60)  # pollutes {40, 20, 2}
+    publication = PublicationState.full(lab.plan)
+    defended = lab.with_defense(
+        Defense(strategy=custom_deployment("d", [20]), authority=publication.table())
+    )
+    after = defended.origin_hijack(50, 60)  # pollutes {40}
+    return lab, before, after
+
+
+class TestDiff:
+    def test_set_algebra(self, outcomes):
+        _lab, before, after = outcomes
+        diff = diff_outcomes(before, after)
+        assert diff.still_polluted == frozenset({40})
+        assert diff.protected == frozenset({20, 2})
+        assert diff.newly_polluted == frozenset()
+        assert diff.blockers == frozenset({20})
+
+    def test_effectiveness(self, outcomes):
+        _lab, before, after = outcomes
+        diff = diff_outcomes(before, after)
+        assert diff.effectiveness() == pytest.approx(2 / 3)
+        assert diff.protected_count == 2
+
+    def test_mismatched_scenarios_rejected(self, outcomes):
+        lab, before, _after = outcomes
+        other = lab.origin_hijack(50, 70)
+        with pytest.raises(ValueError):
+            diff_outcomes(before, other)
+
+    def test_render_frame(self, outcomes, tmp_path):
+        lab, before, after = outcomes
+        diff = diff_outcomes(before, after)
+        layout = PolarLayout.compute(lab.graph, plan=lab.plan)
+        path = tmp_path / "diff.svg"
+        canvas = render_diff_frame(layout, diff, title="filter test", path=path)
+        text = canvas.to_string()
+        assert path.exists()
+        assert "#27ae60" in text  # protected ASes drawn
+        assert "#c0392b" in text  # residual pollution drawn
+        assert "filter test" in text
+
+    def test_no_defense_diff_is_identity(self, outcomes):
+        _lab, before, _after = outcomes
+        diff = diff_outcomes(before, before)
+        assert diff.protected == frozenset()
+        assert diff.still_polluted == before.polluted_asns
+        assert diff.effectiveness() == 0.0

@@ -1,0 +1,101 @@
+"""Unit tests for the miniature DNSSEC tree."""
+
+import pytest
+
+from repro.registry.dns import DnsTree, LookupStatus, format_name, parse_name
+
+
+class TestNames:
+    def test_parse_reverses_labels(self):
+        assert parse_name("a.b.c") == ("c", "b", "a")
+
+    def test_parse_root(self):
+        assert parse_name(".") == ()
+        assert parse_name("") == ()
+
+    def test_parse_lowercases(self):
+        assert parse_name("A.B") == ("b", "a")
+
+    def test_parse_rejects_empty_label(self):
+        with pytest.raises(ValueError):
+            parse_name("a..b")
+
+    def test_format_round_trip(self):
+        assert format_name(parse_name("x.y.z")) == "x.y.z."
+        assert format_name(()) == "."
+
+
+@pytest.fixture
+def tree() -> DnsTree:
+    tree = DnsTree((), seed=3)
+    tree.delegate((), ("arpa",))
+    tree.delegate(("arpa",), ("arpa", "in-addr"))
+    zone = tree.zone(("arpa", "in-addr"))
+    zone.add_rrset(("arpa", "in-addr", "10"), "SRO", ["65001"])
+    return tree
+
+
+class TestLookup:
+    def test_secure_lookup(self, tree):
+        result = tree.lookup("10.in-addr.arpa", "SRO")
+        assert result.status is LookupStatus.SECURE
+        assert result.values == ("65001",)
+        assert result.secure_values == ("65001",)
+
+    def test_nodata_for_missing_name(self, tree):
+        result = tree.lookup("99.in-addr.arpa", "SRO")
+        assert result.status is LookupStatus.NODATA
+        assert result.values == ()
+
+    def test_nodata_for_missing_type(self, tree):
+        assert tree.lookup("10.in-addr.arpa", "TXT").status is LookupStatus.NODATA
+
+    def test_insecure_delegation(self, tree):
+        tree.delegate(("arpa", "in-addr"), ("arpa", "in-addr", "99"), signed=False)
+        tree.zone(("arpa", "in-addr", "99")).add_rrset(
+            ("arpa", "in-addr", "99"), "SRO", ["64999"]
+        )
+        result = tree.lookup("99.in-addr.arpa", "SRO")
+        assert result.status is LookupStatus.INSECURE
+        assert result.values == ("64999",)
+        assert result.secure_values == ()
+
+    def test_bogus_on_tampered_rrset(self, tree):
+        zone = tree.zone(("arpa", "in-addr"))
+        rrset = zone.get(("arpa", "in-addr", "10"), "SRO")
+        tampered = type(rrset)(
+            name=rrset.name, rtype=rrset.rtype,
+            values=("64999",), signature=rrset.signature,
+        )
+        zone._rrsets[(rrset.name, "SRO")] = tampered
+        assert tree.lookup("10.in-addr.arpa", "SRO").status is LookupStatus.BOGUS
+
+    def test_bogus_on_wrong_ds(self, tree):
+        parent = tree.zone(("arpa",))
+        ds = parent.get(("arpa", "in-addr"), "DS")
+        forged = type(ds)(
+            name=ds.name, rtype=ds.rtype,
+            values=("deadbeefdeadbeef",), signature=ds.signature,
+        )
+        parent._rrsets[(ds.name, "DS")] = forged
+        assert tree.lookup("10.in-addr.arpa", "SRO").status is LookupStatus.BOGUS
+
+
+class TestZoneManagement:
+    def test_delegation_requires_nesting(self, tree):
+        with pytest.raises(ValueError):
+            tree.delegate(("arpa", "in-addr"), ("com",))
+
+    def test_duplicate_zone_rejected(self, tree):
+        with pytest.raises(ValueError):
+            tree.delegate(("arpa",), ("arpa", "in-addr"))
+
+    def test_rrset_must_be_inside_zone(self, tree):
+        zone = tree.zone(("arpa", "in-addr"))
+        with pytest.raises(ValueError):
+            zone.add_rrset(("com", "x"), "SRO", ["1"])
+
+    def test_remove_rrset(self, tree):
+        zone = tree.zone(("arpa", "in-addr"))
+        zone.remove_rrset(("arpa", "in-addr", "10"), "SRO")
+        assert tree.lookup("10.in-addr.arpa", "SRO").status is LookupStatus.NODATA

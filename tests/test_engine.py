@@ -1,0 +1,148 @@
+"""Unit tests for the fast routing engine (against hand-computed outcomes)."""
+
+import pytest
+
+from repro.bgp.engine import RouteState, RoutingEngine, UNREACHABLE
+from repro.bgp.policy import PolicyConfig
+from repro.topology.relationships import RouteClass
+
+
+@pytest.fixture
+def engine(mini_view):
+    return RoutingEngine(mini_view)
+
+
+class TestConverge:
+    def test_everyone_reached(self, engine, mini_view):
+        state = engine.converge(mini_view.node_of(50))
+        assert all(state.has_route(node) for node in range(len(mini_view)))
+
+    def test_classes_and_lengths(self, engine, mini_view):
+        state = engine.converge(mini_view.node_of(50))
+        expect = {
+            50: (RouteClass.ORIGIN, 0), 30: (RouteClass.CUSTOMER, 1),
+            10: (RouteClass.CUSTOMER, 2), 1: (RouteClass.CUSTOMER, 3),
+            20: (RouteClass.PEER, 3), 2: (RouteClass.PEER, 4),
+            80: (RouteClass.PROVIDER, 3), 40: (RouteClass.PROVIDER, 4),
+            70: (RouteClass.PROVIDER, 4), 60: (RouteClass.PROVIDER, 5),
+        }
+        for asn, (route_class, length) in expect.items():
+            node = mini_view.node_of(asn)
+            assert state.route_class(node) is route_class, asn
+            assert state.length[node] == length, asn
+
+    def test_parent_paths_terminate_at_origin(self, engine, mini_view):
+        origin = mini_view.node_of(50)
+        state = engine.converge(origin)
+        for asn in (60, 70, 2, 40):
+            path = state.path_from(mini_view.node_of(asn))
+            assert path[-1] == origin
+
+    def test_path_lengths_match(self, engine, mini_view):
+        state = engine.converge(mini_view.node_of(50))
+        for node in range(len(mini_view)):
+            assert len(state.path_from(node)) == state.length[node]
+
+    def test_empty_state_shape(self):
+        state = RouteState.empty(4, origin=0)
+        assert state.length == [UNREACHABLE] * 4
+        assert not state.has_route(2)
+        assert state.route_class(1) is None
+
+
+class TestHijack:
+    def test_deep_stub_attacker(self, engine, mini_view):
+        result = engine.hijack(mini_view.node_of(50), mini_view.node_of(60))
+        assert result.polluted_asns(mini_view) == frozenset({40, 20, 2})
+        assert result.pollution_count(mini_view) == 3
+
+    def test_tier1_stub_attacker(self, engine, mini_view):
+        result = engine.hijack(mini_view.node_of(50), mini_view.node_of(70))
+        assert result.polluted_asns(mini_view) == frozenset({1, 2})
+
+    def test_precomputed_legitimate_state_reused(self, engine, mini_view):
+        target = mini_view.node_of(50)
+        legit = engine.converge(target)
+        result = engine.hijack(target, mini_view.node_of(60), legitimate=legit)
+        assert result.polluted_asns(mini_view) == frozenset({40, 20, 2})
+        # The legit state must not have been mutated by the attack pass.
+        assert legit.origin_of[mini_view.node_of(40)] == target
+
+    def test_wrong_legit_state_rejected(self, engine, mini_view):
+        legit = engine.converge(mini_view.node_of(50))
+        with pytest.raises(ValueError):
+            engine.hijack(mini_view.node_of(60), mini_view.node_of(70), legitimate=legit)
+
+    def test_self_attack_rejected(self, engine, mini_view):
+        node = mini_view.node_of(50)
+        with pytest.raises(ValueError):
+            engine.hijack(node, node)
+
+    def test_blocked_node_neither_adopts_nor_propagates(self, engine, mini_view):
+        result = engine.hijack(
+            mini_view.node_of(50),
+            mini_view.node_of(60),
+            blocked=[mini_view.node_of(20)],
+        )
+        assert result.polluted_asns(mini_view) == frozenset({40})
+
+    def test_first_hop_stub_filter_stops_stub_attacker(self, engine, mini_view):
+        result = engine.hijack(
+            mini_view.node_of(50),
+            mini_view.node_of(70),
+            filter_first_hop_providers=True,
+        )
+        assert result.polluted_asns(mini_view) == frozenset()
+
+    def test_first_hop_filter_ignores_transit_attackers(self, engine, mini_view):
+        result = engine.hijack(
+            mini_view.node_of(50),
+            mini_view.node_of(40),
+            filter_first_hop_providers=True,
+        )
+        # AS40 has a customer, so the filter does not apply.
+        assert result.polluted_asns(mini_view)
+
+    def test_is_polluted_map(self, engine, mini_view):
+        result = engine.hijack(mini_view.node_of(50), mini_view.node_of(60))
+        flags = result.is_polluted([mini_view.node_of(2), mini_view.node_of(10)])
+        assert flags[mini_view.node_of(2)] is True
+        assert flags[mini_view.node_of(10)] is False
+
+
+class TestPolicyVariants:
+    @pytest.fixture
+    def chain_view(self):
+        """Tier-1 AS1 ends up with a long customer route (via a provider
+        chain) and a shorter peer route (via AS2) to the target AS13."""
+        from repro.topology.asgraph import ASGraph
+        from repro.topology.relationships import Relationship
+        from repro.topology.view import RoutingView
+
+        graph = ASGraph()
+        graph.add_as(1, tier1=True)
+        graph.add_as(2, tier1=True)
+        for asn in (10, 11, 12, 13, 20):
+            graph.add_as(asn)
+        graph.add_relationship(1, 2, Relationship.PEER)
+        graph.add_relationship(1, 10, Relationship.CUSTOMER)
+        graph.add_relationship(10, 11, Relationship.CUSTOMER)
+        graph.add_relationship(11, 12, Relationship.CUSTOMER)
+        graph.add_relationship(12, 13, Relationship.CUSTOMER)
+        graph.add_relationship(2, 20, Relationship.CUSTOMER)
+        graph.add_relationship(20, 13, Relationship.CUSTOMER)
+        return RoutingView.from_graph(graph)
+
+    def test_tier1_shortest_path_prefers_short_peer_route(self, chain_view):
+        engine = RoutingEngine(chain_view)
+        state = engine.converge(chain_view.node_of(13))
+        node_1 = chain_view.node_of(1)
+        assert state.route_class(node_1) is RouteClass.PEER
+        assert state.length[node_1] == 3  # via 2 -> 20 -> 13
+
+    def test_tier1_ablation_restores_class_preference(self, chain_view):
+        engine = RoutingEngine(chain_view, PolicyConfig(tier1_shortest_path=False))
+        state = engine.converge(chain_view.node_of(13))
+        node_1 = chain_view.node_of(1)
+        assert state.route_class(node_1) is RouteClass.CUSTOMER
+        assert state.length[node_1] == 4  # via 10 -> 11 -> 12 -> 13

@@ -1,0 +1,112 @@
+"""Unit tests for the residual-attack ("holes") analysis."""
+
+import pytest
+
+from repro.attacks.lab import HijackLab
+from repro.core.holes import HoleKind, analyze_holes
+from repro.defense.deployment import Defense
+from repro.defense.strategies import custom_deployment, top_degree_deployment
+from repro.registry.publication import PublicationState
+
+
+@pytest.fixture
+def mini_lab(mini_graph) -> HijackLab:
+    return HijackLab(mini_graph, seed=1)
+
+
+class TestMiniTopology:
+    def test_no_defense_all_successful_attacks_are_holes(self, mini_lab):
+        report = analyze_holes(mini_lab, 50, transit_only=False)
+        assert report.attacks_run == 9
+        successful = sum(
+            1
+            for attacker in mini_lab.graph.asns()
+            if attacker != 50 and mini_lab.origin_hijack(50, attacker).succeeded
+        )
+        assert len(report.holes) == successful
+        assert all(h.kind is HoleKind.NO_COVERAGE for h in report.holes)
+
+    def test_unpublished_target_classified(self, mini_lab):
+        publication = PublicationState.with_participants(mini_lab.plan, [])
+        defended = mini_lab.with_defense(
+            Defense(
+                strategy=custom_deployment("d", mini_lab.graph.asns()),
+                authority=publication.table(),
+            )
+        )
+        report = analyze_holes(defended, 50, transit_only=False)
+        assert report.holes
+        assert all(h.kind is HoleKind.UNPUBLISHED for h in report.holes)
+
+    def test_perimeter_leak_detected(self, mini_lab):
+        # Deploy only at AS10: attacks from the east branch (e.g. AS60)
+        # still pollute {40, 20, 2}; the spread passes next to AS10.
+        publication = PublicationState.full(mini_lab.plan)
+        defended = mini_lab.with_defense(
+            Defense(
+                strategy=custom_deployment("d", [10]),
+                authority=publication.table(),
+            )
+        )
+        report = analyze_holes(defended, 50, attackers=[60])
+        assert len(report.holes) == 1
+        hole = report.holes[0]
+        assert hole.kind is HoleKind.PERIMETER_LEAK
+        assert 10 in hole.adjacent_deployers
+
+    def test_witness_path_ends_at_attacker(self, mini_lab):
+        report = analyze_holes(mini_lab, 50, attackers=[60])
+        hole = report.holes[0]
+        assert hole.witness_path[-1] == 60
+        # Every intermediate hop really adopted the bogus route.
+        outcome = mini_lab.origin_hijack(50, 60)
+        for asn in hole.witness_path[:-1]:
+            assert asn in outcome.polluted_asns
+
+    def test_full_deployment_leaves_no_holes(self, mini_lab):
+        publication = PublicationState.full(mini_lab.plan)
+        defended = mini_lab.with_defense(
+            Defense(
+                strategy=custom_deployment("all", mini_lab.graph.asns()),
+                authority=publication.table(),
+            )
+        )
+        report = analyze_holes(defended, 50, transit_only=False)
+        assert report.holes == ()
+        assert report.residual_rate == 0.0
+
+    def test_describe_is_readable(self, mini_lab):
+        report = analyze_holes(mini_lab, 50, attackers=[60])
+        text = report.holes[0].describe()
+        assert "AS60" in text and "witness" in text
+
+
+class TestMediumTopology:
+    def test_core_deployment_reduces_residual_rate(self, medium_lab):
+        publication = PublicationState.full(medium_lab.plan)
+        target = medium_lab.graph.asns()[-1]
+        undefended = analyze_holes(medium_lab, target, sample=60, seed=1)
+        defended_lab = medium_lab.with_defense(
+            Defense(
+                strategy=top_degree_deployment(medium_lab.graph, 60),
+                authority=publication.table(),
+            )
+        )
+        defended = analyze_holes(defended_lab, target, sample=60, seed=1)
+        assert defended.residual_rate <= undefended.residual_rate
+
+    def test_reinforcement_recommendations_are_undefended(self, medium_lab):
+        publication = PublicationState.full(medium_lab.plan)
+        strategy = top_degree_deployment(medium_lab.graph, 30)
+        defended_lab = medium_lab.with_defense(
+            Defense(strategy=strategy, authority=publication.table())
+        )
+        target = medium_lab.graph.asns()[-1]
+        report = analyze_holes(defended_lab, target, sample=60, seed=2)
+        for asn in report.recommended_reinforcements():
+            assert asn not in strategy.deployers
+
+    def test_by_kind_partitions_holes(self, medium_lab):
+        target = medium_lab.graph.asns()[-1]
+        report = analyze_holes(medium_lab, target, sample=40, seed=3)
+        assert sum(report.by_kind().values()) == len(report.holes)

@@ -1,0 +1,106 @@
+"""Unit tests for reach/overlap metrics and convergence statistics."""
+
+import pytest
+
+from repro.bgp.convergence import (
+    generation_wavefront,
+    measure_convergence,
+)
+from repro.topology.metrics import (
+    cone_overlap,
+    overlap_matrix,
+    provider_redundancy,
+    rank_providers_by_added_reach,
+)
+from repro.topology.view import RoutingView
+
+
+class TestConeOverlap:
+    def test_disjoint_cones(self, mini_graph):
+        # 30's cone = {30, 50}; 40's cone = {40, 60}: disjoint.
+        assert cone_overlap(mini_graph, 30, 40) == 0
+
+    def test_shared_customer(self, mini_graph):
+        # 10's cone and 20's cone both contain AS80.
+        assert cone_overlap(mini_graph, 10, 20) == 1
+
+    def test_overlap_matrix_defaults_to_tier1(self, mini_graph):
+        matrix = overlap_matrix(mini_graph)
+        assert set(matrix) == {(1, 2)}
+        # tier-1 cones share 80 (via 10 and 20 respectively).
+        assert matrix[(1, 2)] == 1
+
+    def test_overlap_matrix_custom_set(self, mini_graph):
+        matrix = overlap_matrix(mini_graph, [10, 20, 30])
+        assert (10, 20) in matrix and (10, 30) in matrix
+        # 30's cone is inside 10's: full overlap of {30? exclude ends} ->
+        # shared = {30, 50} minus endpoints = {50}.
+        assert matrix[(10, 30)] == 1
+
+
+class TestProviderRedundancy:
+    def test_single_homed_has_zero_redundancy(self, mini_graph):
+        redundancy = provider_redundancy(mini_graph, 50)
+        assert redundancy.redundancy == 0.0
+        assert redundancy.total_reach > 0
+
+    def test_multihomed_overlapping_providers(self, mini_graph):
+        # AS80 buys from 10 and 20; both cones contain 80 itself (removed)
+        # but are otherwise disjoint -> low redundancy.
+        redundancy = provider_redundancy(mini_graph, 80)
+        assert set(redundancy.exclusive_reach) == {10, 20}
+        assert 0.0 <= redundancy.redundancy <= 1.0
+
+    def test_overlapping_providers_show_redundancy(self):
+        # Two providers that share a second customer: part of the reach
+        # multi-homing buys is duplicated.
+        from repro.topology.asgraph import ASGraph
+        from repro.topology.relationships import Relationship
+
+        graph = ASGraph()
+        for asn in (100, 101, 102, 103):
+            graph.add_as(asn)
+        for provider in (100, 101):
+            graph.add_relationship(provider, 102, Relationship.CUSTOMER)
+            graph.add_relationship(provider, 103, Relationship.CUSTOMER)
+        redundancy = provider_redundancy(graph, 102)
+        assert redundancy.total_reach == 3  # {100, 101, 103}
+        assert redundancy.exclusive_reach == {100: 1, 101: 1}
+        assert redundancy.redundancy == pytest.approx(1 / 3)
+
+    def test_rank_providers_by_added_reach(self, mini_graph):
+        ranked = rank_providers_by_added_reach(mini_graph, 50, [10, 40, 30])
+        candidates = dict(ranked)
+        # 30 is already the provider -> excluded; 10 adds {30?...}
+        assert 30 not in candidates
+        assert candidates[10] >= candidates[40] or candidates[40] >= 0
+        assert ranked[0][1] >= ranked[-1][1]
+
+
+class TestConvergence:
+    def test_stats_over_sampled_origins(self, mini_view):
+        stats = measure_convergence(mini_view, sample=6, seed=1)
+        assert stats.samples == 6
+        assert stats.minimum >= 1
+        assert stats.maximum <= 10
+        assert stats.within(1, 10) == 1.0
+        assert stats.mean > 0
+
+    def test_explicit_origins(self, mini_view):
+        stats = measure_convergence(mini_view, origins=[0, 1, 2])
+        assert stats.samples == 3
+
+    def test_wavefront_sums_to_reachable(self, mini_view):
+        origin = mini_view.node_of(50)
+        wavefront = generation_wavefront(mini_view, origin)
+        # Acceptances cover every other node at least once (improvements
+        # may re-accept, so the sum is >= reachable count).
+        assert sum(wavefront) >= len(mini_view) - 1
+        assert wavefront[0] >= 1
+
+    def test_paper_band_on_generated_topology(self, medium_graph):
+        view = RoutingView.from_graph(medium_graph)
+        stats = measure_convergence(view, sample=10, seed=2)
+        # Paper: "Convergence is generally reached within 5 to 10
+        # generations" — our smaller topology converges at least as fast.
+        assert stats.maximum <= 10

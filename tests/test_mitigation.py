@@ -1,0 +1,86 @@
+"""Unit tests for reactive mitigation: purge and deaggregation."""
+
+import pytest
+
+from repro.attacks.lab import HijackLab
+from repro.defense.mitigation import deaggregation_response, purge_response
+
+
+@pytest.fixture
+def mini_lab(mini_graph) -> HijackLab:
+    return HijackLab(mini_graph, seed=1)
+
+
+@pytest.fixture
+def hijack(mini_lab):
+    return mini_lab.origin_hijack(50, 60)  # pollutes {40, 20, 2}
+
+
+class TestPurge:
+    def test_responding_polluted_as_recovers(self, mini_lab, hijack):
+        result = purge_response(mini_lab, hijack, responders=[20])
+        assert 20 in result.recovered_asns
+        # Purging AS20 also starves AS2 of the short bogus path.
+        assert 2 in result.recovered_asns
+        assert result.outcome_after.polluted_asns == frozenset({40})
+
+    def test_full_response_cleans_everything(self, mini_lab, hijack):
+        result = purge_response(mini_lab, hijack, responders=hijack.polluted_asns)
+        assert result.residual_pollution == 0
+        assert result.effectiveness() == 1.0
+
+    def test_unrelated_responder_changes_nothing(self, mini_lab, hijack):
+        result = purge_response(mini_lab, hijack, responders=[70])
+        assert result.outcome_after.polluted_asns == hijack.polluted_asns
+        assert result.effectiveness() == 0.0
+
+    def test_responders_recorded(self, mini_lab, hijack):
+        result = purge_response(mini_lab, hijack, responders=[20, 40])
+        assert result.responders == frozenset({20, 40})
+
+    def test_original_lab_defense_untouched(self, mini_lab, hijack):
+        purge_response(mini_lab, hijack, responders=[20])
+        assert mini_lab.defense.manual_filters == ()
+
+
+class TestDeaggregation:
+    def test_recovers_everyone_without_escalation(self, mini_lab, hijack):
+        result = deaggregation_response(mini_lab, hijack)
+        # Fresh more-specifics win everywhere: all 9 other ASes route the
+        # deaggregated span back to the victim.
+        assert len(result.announced) == 2
+        assert result.recovery_fraction == 1.0
+        assert hijack.polluted_asns <= result.recovered_asns
+
+    def test_escalation_replays_the_contest(self, mini_lab, hijack):
+        result = deaggregation_response(mini_lab, hijack, attacker_escalates=True)
+        # The victim announces first (incumbent), so the attacker needs a
+        # strictly better path — the same ASes fall as in the parent fight.
+        assert result.contested_asns == hijack.polluted_asns
+        assert result.recovery_fraction == 0.0
+
+    def test_depth_limit(self, mini_lab):
+        outcome = mini_lab.origin_hijack(50, 60)
+        with pytest.raises(ValueError):
+            deaggregation_response(mini_lab, outcome, extra_bits=33)
+
+    def test_two_bit_deaggregation(self, mini_lab, hijack):
+        result = deaggregation_response(mini_lab, hijack, extra_bits=2)
+        assert len(result.announced) == 4
+        assert result.recovery_fraction == 1.0
+
+
+class TestMediumScale:
+    def test_purge_by_core_is_effective(self, medium_lab):
+        from repro.defense.strategies import top_degree_deployment
+
+        target = medium_lab.graph.asns()[-1]
+        attacker = sorted(medium_lab.graph.asns())[40]
+        if medium_lab.view.node_of(target) == medium_lab.view.node_of(attacker):
+            attacker = sorted(medium_lab.graph.asns())[41]
+        outcome = medium_lab.origin_hijack(target, attacker)
+        if not outcome.succeeded:
+            pytest.skip("attack did not pollute anyone")
+        responders = top_degree_deployment(medium_lab.graph, 40).deployers
+        result = purge_response(medium_lab, outcome, responders)
+        assert result.residual_pollution < outcome.pollution_count

@@ -1,0 +1,61 @@
+"""Unit tests for the policy rules (Section III of the paper)."""
+
+from repro.bgp.policy import PolicyConfig, exports_to_peers_and_providers, prefers
+from repro.topology.relationships import RouteClass
+
+
+class TestPrefers:
+    def test_customer_beats_peer_regardless_of_length(self):
+        assert prefers(False, RouteClass.CUSTOMER, 9, RouteClass.PEER, 1)
+
+    def test_peer_beats_provider(self):
+        assert prefers(False, RouteClass.PEER, 5, RouteClass.PROVIDER, 2)
+
+    def test_shorter_wins_within_class(self):
+        assert prefers(False, RouteClass.PEER, 2, RouteClass.PEER, 3)
+        assert not prefers(False, RouteClass.PEER, 3, RouteClass.PEER, 2)
+
+    def test_exact_tie_keeps_incumbent(self):
+        assert not prefers(False, RouteClass.PEER, 2, RouteClass.PEER, 2)
+
+    def test_nothing_beats_origin(self):
+        assert not prefers(False, RouteClass.CUSTOMER, 1, RouteClass.ORIGIN, 0)
+
+    def test_tier1_orders_by_length_first(self):
+        # The Section VI blind-spot rule: a shorter peer route beats a
+        # longer customer route at a tier-1.
+        assert prefers(True, RouteClass.PEER, 2, RouteClass.CUSTOMER, 3)
+        assert not prefers(True, RouteClass.CUSTOMER, 3, RouteClass.PEER, 2)
+
+    def test_tier1_length_tie_keeps_incumbent_even_for_better_class(self):
+        # This is exactly why AS6450's customer routes could not displace
+        # the tier-1s' equal-length peer routes to AS7314 in the paper.
+        assert not prefers(True, RouteClass.CUSTOMER, 2, RouteClass.PEER, 2)
+
+    def test_tier1_exception_can_be_disabled(self):
+        assert not prefers(
+            True, RouteClass.PEER, 2, RouteClass.CUSTOMER, 3,
+            tier1_shortest_path=False,
+        )
+        assert prefers(
+            True, RouteClass.CUSTOMER, 9, RouteClass.PEER, 2,
+            tier1_shortest_path=False,
+        )
+
+
+class TestExportRule:
+    def test_origin_and_customer_routes_export_widely(self):
+        assert exports_to_peers_and_providers(RouteClass.ORIGIN)
+        assert exports_to_peers_and_providers(RouteClass.CUSTOMER)
+
+    def test_peer_and_provider_routes_export_to_customers_only(self):
+        assert not exports_to_peers_and_providers(RouteClass.PEER)
+        assert not exports_to_peers_and_providers(RouteClass.PROVIDER)
+
+
+class TestPolicyConfig:
+    def test_defaults_match_paper(self):
+        config = PolicyConfig()
+        assert config.tier1_shortest_path
+        assert not config.first_hop_stub_filter
+        assert config.max_generations >= 10

@@ -1,0 +1,137 @@
+"""Unit tests for the IPv4 prefix value type."""
+
+import pytest
+
+from repro.prefixes.prefix import Prefix, PrefixError
+
+
+class TestParsing:
+    def test_parse_cidr(self):
+        prefix = Prefix.parse("203.0.113.0/24")
+        assert prefix.network == (203 << 24) | (0 << 16) | (113 << 8)
+        assert prefix.length == 24
+
+    def test_parse_bare_address_is_host_route(self):
+        assert Prefix.parse("10.0.0.1").length == 32
+
+    def test_parse_strips_whitespace(self):
+        assert Prefix.parse("  10.0.0.0/8 ") == Prefix.parse("10.0.0.0/8")
+
+    @pytest.mark.parametrize(
+        "text",
+        ["10.0.0/8", "10.0.0.256/8", "10.0.0.0/33", "10.0.0.0/x", "a.b.c.d/8",
+         "10.0.0.0.0/8", ""],
+    )
+    def test_parse_rejects_malformed(self, text):
+        with pytest.raises(PrefixError):
+            Prefix.parse(text)
+
+    def test_host_bits_must_be_zero(self):
+        with pytest.raises(PrefixError):
+            Prefix.parse("10.0.0.1/8")
+
+    def test_from_host_masks_host_bits(self):
+        prefix = Prefix.from_host((10 << 24) | 0x00FF_FFFF, 8)
+        assert prefix == Prefix.parse("10.0.0.0/8")
+
+    def test_round_trip_str(self):
+        for text in ("0.0.0.0/0", "10.0.0.0/8", "192.168.1.128/25", "1.2.3.4/32"):
+            assert str(Prefix.parse(text)) == text
+
+
+class TestContainment:
+    def test_contains_more_specific(self):
+        parent = Prefix.parse("10.0.0.0/8")
+        child = Prefix.parse("10.20.0.0/16")
+        assert parent.contains(child)
+        assert not child.contains(parent)
+
+    def test_contains_self(self):
+        prefix = Prefix.parse("10.0.0.0/8")
+        assert prefix.contains(prefix)
+        assert not prefix.is_subprefix_of(prefix)
+
+    def test_disjoint_prefixes(self):
+        a = Prefix.parse("10.0.0.0/8")
+        b = Prefix.parse("11.0.0.0/8")
+        assert not a.contains(b)
+        assert not a.overlaps(b)
+
+    def test_overlaps_is_symmetric_containment(self):
+        parent = Prefix.parse("10.0.0.0/8")
+        child = Prefix.parse("10.1.0.0/16")
+        assert parent.overlaps(child) and child.overlaps(parent)
+
+    def test_contains_address(self):
+        prefix = Prefix.parse("192.168.1.0/24")
+        assert prefix.contains_address((192 << 24) | (168 << 16) | (1 << 8) | 77)
+        assert not prefix.contains_address((192 << 24) | (168 << 16) | (2 << 8))
+
+    def test_default_route_contains_everything(self):
+        assert Prefix(0, 0).contains(Prefix.parse("203.0.113.0/24"))
+
+
+class TestSizeAndBits:
+    def test_size(self):
+        assert Prefix.parse("10.0.0.0/8").size() == 1 << 24
+        assert Prefix.parse("1.2.3.4/32").size() == 1
+
+    def test_fraction_of_space(self):
+        assert Prefix(0, 0).fraction_of_space() == 1.0
+        assert Prefix.parse("128.0.0.0/1").fraction_of_space() == 0.5
+
+    def test_first_and_last_address(self):
+        prefix = Prefix.parse("192.168.1.0/24")
+        assert prefix.last_address() - prefix.first_address() == 255
+
+    def test_bits_string(self):
+        assert Prefix.parse("128.0.0.0/2").bits() == "10"
+        assert Prefix(0, 0).bits() == ""
+
+    def test_bit_indexing(self):
+        prefix = Prefix.parse("192.0.0.0/3")
+        assert [prefix.bit(i) for i in range(3)] == [1, 1, 0]
+        with pytest.raises(PrefixError):
+            prefix.bit(3)
+
+
+class TestDerivation:
+    def test_supernet(self):
+        assert Prefix.parse("10.128.0.0/9").supernet() == Prefix.parse("10.0.0.0/8")
+
+    def test_supernet_of_default_route_fails(self):
+        with pytest.raises(PrefixError):
+            Prefix(0, 0).supernet()
+
+    def test_subnets_split_in_two(self):
+        halves = list(Prefix.parse("10.0.0.0/8").subnets())
+        assert halves == [Prefix.parse("10.0.0.0/9"), Prefix.parse("10.128.0.0/9")]
+
+    def test_subnets_at_depth(self):
+        quarters = list(Prefix.parse("10.0.0.0/8").subnets(10))
+        assert len(quarters) == 4
+        assert quarters[-1] == Prefix.parse("10.192.0.0/10")
+
+    def test_subnets_reject_shorter_or_too_long(self):
+        with pytest.raises(PrefixError):
+            list(Prefix.parse("10.0.0.0/8").subnets(7))
+        with pytest.raises(PrefixError):
+            list(Prefix.parse("1.2.3.4/32").subnets())
+
+
+class TestOrderingAndHashing:
+    def test_sort_order_groups_supernets_first(self):
+        prefixes = [
+            Prefix.parse("10.0.0.0/9"),
+            Prefix.parse("10.0.0.0/8"),
+            Prefix.parse("9.0.0.0/8"),
+        ]
+        assert sorted(prefixes) == [
+            Prefix.parse("9.0.0.0/8"),
+            Prefix.parse("10.0.0.0/8"),
+            Prefix.parse("10.0.0.0/9"),
+        ]
+
+    def test_usable_as_dict_key(self):
+        table = {Prefix.parse("10.0.0.0/8"): "a"}
+        assert table[Prefix.parse("10.0.0.0/8")] == "a"

@@ -1,0 +1,87 @@
+"""Unit tests for ROVER: reverse-DNS naming and origin validation."""
+
+import pytest
+
+from repro.prefixes.prefix import Prefix
+from repro.registry.dns import format_name
+from repro.registry.roa import ValidationState
+from repro.registry.rover import RoverRegistry, prefix_from_name, reverse_name
+
+
+def p(text: str) -> Prefix:
+    return Prefix.parse(text)
+
+
+class TestNaming:
+    @pytest.mark.parametrize(
+        "prefix,name",
+        [
+            ("10.0.0.0/8", "10.in-addr.arpa."),
+            ("10.2.0.0/16", "2.10.in-addr.arpa."),
+            ("10.2.3.0/24", "3.2.10.in-addr.arpa."),
+            ("10.2.128.0/17", "1.m.2.10.in-addr.arpa."),
+            ("10.2.192.0/18", "1.1.m.2.10.in-addr.arpa."),
+            ("10.2.64.0/18", "1.0.m.2.10.in-addr.arpa."),
+        ],
+    )
+    def test_reverse_name(self, prefix, name):
+        assert format_name(reverse_name(p(prefix))) == name
+
+    @pytest.mark.parametrize(
+        "prefix",
+        ["10.0.0.0/8", "10.2.0.0/16", "10.2.128.0/17", "1.2.3.4/32", "10.2.200.0/22"],
+    )
+    def test_name_round_trip(self, prefix):
+        assert prefix_from_name(reverse_name(p(prefix))) == p(prefix)
+
+    def test_prefix_from_foreign_name_rejected(self):
+        with pytest.raises(ValueError):
+            prefix_from_name(("com", "example"))
+
+    def test_prefix_from_bad_bit_label(self):
+        with pytest.raises(ValueError):
+            prefix_from_name(("arpa", "in-addr", "10", "m", "2"))
+
+
+@pytest.fixture
+def registry() -> RoverRegistry:
+    registry = RoverRegistry(seed=5)
+    registry.publish_origin(p("10.2.0.0/16"), 65001)
+    registry.publish_lock(p("10.2.0.0/16"))
+    return registry
+
+
+class TestValidation:
+    def test_published_origin_valid(self, registry):
+        assert registry.validate(p("10.2.0.0/16"), 65001) is ValidationState.VALID
+
+    def test_wrong_origin_invalid(self, registry):
+        assert registry.validate(p("10.2.0.0/16"), 64999) is ValidationState.INVALID
+
+    def test_subprefix_under_lock_is_invalid(self, registry):
+        # No SRO exists for the /24, but the covering RLOCK declares the
+        # reverse DNS authoritative: the announcement is bogus.
+        assert registry.validate(p("10.2.3.0/24"), 64999) is ValidationState.INVALID
+
+    def test_published_subprefix_valid(self, registry):
+        registry.publish_origin(p("10.2.3.0/24"), 65002)
+        assert registry.validate(p("10.2.3.0/24"), 65002) is ValidationState.VALID
+
+    def test_unpublished_unlocked_space_not_found(self, registry):
+        assert registry.validate(p("99.0.0.0/8"), 64999) is ValidationState.NOT_FOUND
+
+    def test_multiple_origins_all_valid(self, registry):
+        registry.publish_origin(p("10.2.0.0/16"), 65077)
+        assert registry.validate(p("10.2.0.0/16"), 65077) is ValidationState.VALID
+        assert registry.validate(p("10.2.0.0/16"), 65001) is ValidationState.VALID
+
+    def test_withdraw(self, registry):
+        registry.withdraw_origin(p("10.2.0.0/16"))
+        # Still locked, so the space is INVALID rather than NOT_FOUND.
+        assert registry.validate(p("10.2.0.0/16"), 65001) is ValidationState.INVALID
+
+    def test_unsigned_publication_is_not_trusted(self):
+        registry = RoverRegistry(seed=5)
+        registry.publish_origin(p("99.2.0.0/16"), 65001, signed=False)
+        # The unsigned zone resolves INSECURE; ROVER refuses to authorize.
+        assert registry.validate(p("99.2.0.0/16"), 65001) is ValidationState.NOT_FOUND

@@ -1,0 +1,91 @@
+"""Unit tests for the simulated RPKI repository."""
+
+import pytest
+
+from repro.prefixes.prefix import Prefix
+from repro.registry.roa import ValidationState
+from repro.registry.rpki import RpkiError, RpkiRepository
+
+
+def p(text: str) -> Prefix:
+    return Prefix.parse(text)
+
+
+@pytest.fixture
+def repo() -> RpkiRepository:
+    repo = RpkiRepository(seed=1)
+    repo.create_trust_anchor("ta", [p("0.0.0.0/0")])
+    repo.issue_certificate("ta", "rir", None, [p("10.0.0.0/8")])
+    repo.issue_certificate("rir", "isp", 65001, [p("10.1.0.0/16")])
+    return repo
+
+
+class TestIssuance:
+    def test_single_trust_anchor(self, repo):
+        with pytest.raises(RpkiError):
+            repo.create_trust_anchor("ta2", [p("0.0.0.0/0")])
+
+    def test_resources_must_nest(self, repo):
+        with pytest.raises(RpkiError):
+            repo.issue_certificate("isp", "leaf", 65002, [p("11.0.0.0/16")])
+
+    def test_unknown_issuer(self, repo):
+        with pytest.raises(RpkiError):
+            repo.issue_certificate("nobody", "leaf", 65002, [p("10.1.2.0/24")])
+
+    def test_duplicate_name(self, repo):
+        with pytest.raises(RpkiError):
+            repo.issue_certificate("ta", "rir", None, [p("10.0.0.0/8")])
+
+    def test_roa_resources_checked(self, repo):
+        with pytest.raises(RpkiError):
+            repo.publish_roa("isp", p("10.2.0.0/16"), 65001)
+
+
+class TestValidation:
+    def test_published_roa_validates(self, repo):
+        repo.publish_roa("isp", p("10.1.0.0/16"), 65001)
+        assert repo.validate(p("10.1.0.0/16"), 65001) is ValidationState.VALID
+
+    def test_hijack_is_invalid(self, repo):
+        repo.publish_roa("isp", p("10.1.0.0/16"), 65001)
+        assert repo.validate(p("10.1.0.0/16"), 64999) is ValidationState.INVALID
+
+    def test_unpublished_space_not_found(self, repo):
+        assert repo.validate(p("10.9.0.0/16"), 65001) is ValidationState.NOT_FOUND
+
+    def test_max_length(self, repo):
+        repo.publish_roa("isp", p("10.1.0.0/16"), 65001, max_length=20)
+        assert repo.validate(p("10.1.16.0/20"), 65001) is ValidationState.VALID
+        assert repo.validate(p("10.1.16.0/24"), 65001) is ValidationState.INVALID
+
+    def test_revocation_kills_subtree(self, repo):
+        repo.publish_roa("isp", p("10.1.0.0/16"), 65001)
+        repo.revoke("rir")
+        assert repo.validate(p("10.1.0.0/16"), 65001) is ValidationState.NOT_FOUND
+
+    def test_revoking_leaf_only_kills_its_roas(self, repo):
+        repo.issue_certificate("rir", "isp2", 65002, [p("10.2.0.0/16")])
+        repo.publish_roa("isp", p("10.1.0.0/16"), 65001)
+        repo.publish_roa("isp2", p("10.2.0.0/16"), 65002)
+        repo.revoke("isp")
+        table = repo.validated_table()
+        assert table.validate(p("10.1.0.0/16"), 65001) is ValidationState.NOT_FOUND
+        assert table.validate(p("10.2.0.0/16"), 65002) is ValidationState.VALID
+
+    def test_tampered_roa_discarded(self, repo):
+        signed = repo.publish_roa("isp", p("10.1.0.0/16"), 65001)
+        # Forge the payload without re-signing.
+        forged = type(signed)(
+            roa=type(signed.roa)(p("10.1.0.0/16"), 64999),
+            certificate_name=signed.certificate_name,
+            signature=signed.signature,
+        )
+        repo._roas.append(forged)
+        table = repo.validated_table()
+        assert table.validate(p("10.1.0.0/16"), 64999) is ValidationState.INVALID
+
+    def test_validated_table_size(self, repo):
+        repo.publish_roa("isp", p("10.1.0.0/16"), 65001)
+        repo.publish_roa("isp", p("10.1.2.0/24"), 65001)
+        assert len(repo.validated_table()) == 2

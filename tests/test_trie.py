@@ -1,0 +1,120 @@
+"""Unit tests for the radix trie."""
+
+import pytest
+
+from repro.prefixes.prefix import Prefix
+from repro.prefixes.trie import PrefixTrie
+
+
+def p(text: str) -> Prefix:
+    return Prefix.parse(text)
+
+
+@pytest.fixture
+def populated() -> PrefixTrie[str]:
+    trie: PrefixTrie[str] = PrefixTrie()
+    trie.insert(p("10.0.0.0/8"), "ten")
+    trie.insert(p("10.1.0.0/16"), "ten-one")
+    trie.insert(p("10.1.2.0/24"), "ten-one-two")
+    trie.insert(p("192.168.0.0/16"), "private")
+    return trie
+
+
+class TestBasics:
+    def test_insert_get(self, populated):
+        assert populated.get(p("10.1.0.0/16")) == "ten-one"
+
+    def test_get_missing_returns_default(self, populated):
+        assert populated.get(p("11.0.0.0/8")) is None
+        assert populated.get(p("11.0.0.0/8"), "x") == "x"
+
+    def test_contains_is_exact_not_covering(self, populated):
+        assert p("10.0.0.0/8") in populated
+        assert p("10.2.0.0/16") not in populated  # covered but not stored
+
+    def test_len_counts_values(self, populated):
+        assert len(populated) == 4
+
+    def test_replace_does_not_grow(self, populated):
+        populated.insert(p("10.0.0.0/8"), "TEN")
+        assert len(populated) == 4
+        assert populated[p("10.0.0.0/8")] == "TEN"
+
+    def test_getitem_raises_keyerror(self, populated):
+        with pytest.raises(KeyError):
+            populated[p("11.0.0.0/8")]
+
+    def test_setitem(self, populated):
+        populated[p("11.0.0.0/8")] = "eleven"
+        assert populated[p("11.0.0.0/8")] == "eleven"
+
+    def test_root_value(self):
+        trie: PrefixTrie[str] = PrefixTrie()
+        trie.insert(Prefix(0, 0), "default")
+        assert trie[Prefix(0, 0)] == "default"
+        assert trie.longest_match(12345)[1] == "default"
+
+
+class TestRemoval:
+    def test_remove_returns_value(self, populated):
+        assert populated.remove(p("10.1.0.0/16")) == "ten-one"
+        assert p("10.1.0.0/16") not in populated
+        assert len(populated) == 3
+
+    def test_remove_keeps_descendants(self, populated):
+        populated.remove(p("10.1.0.0/16"))
+        assert populated[p("10.1.2.0/24")] == "ten-one-two"
+
+    def test_remove_missing_raises(self, populated):
+        with pytest.raises(KeyError):
+            populated.remove(p("10.2.0.0/16"))
+
+    def test_clear(self, populated):
+        populated.clear()
+        assert len(populated) == 0
+        assert list(populated.items()) == []
+
+
+class TestLongestMatch:
+    def test_picks_most_specific(self, populated):
+        address = p("10.1.2.3/32").network
+        match = populated.longest_match(address)
+        assert match == (p("10.1.2.0/24"), "ten-one-two")
+
+    def test_falls_back_to_covering(self, populated):
+        address = p("10.9.0.0/32").network
+        assert populated.longest_match(address) == (p("10.0.0.0/8"), "ten")
+
+    def test_no_match(self, populated):
+        assert populated.longest_match(p("11.0.0.1/32").network) is None
+
+    def test_longest_match_prefix(self, populated):
+        assert populated.longest_match_prefix(p("10.1.2.0/25")) == (
+            p("10.1.2.0/24"), "ten-one-two",
+        )
+        assert populated.longest_match_prefix(p("10.1.0.0/16")) == (
+            p("10.1.0.0/16"), "ten-one",
+        )
+        assert populated.longest_match_prefix(p("11.0.0.0/8")) is None
+
+
+class TestWalks:
+    def test_covering_shortest_first(self, populated):
+        found = list(populated.covering(p("10.1.2.0/24")))
+        assert [value for _, value in found] == ["ten", "ten-one", "ten-one-two"]
+
+    def test_covered_by(self, populated):
+        inside = list(populated.covered_by(p("10.0.0.0/8")))
+        assert [value for _, value in inside] == ["ten", "ten-one", "ten-one-two"]
+
+    def test_covered_by_missing_branch_is_empty(self, populated):
+        assert list(populated.covered_by(p("11.0.0.0/8"))) == []
+
+    def test_items_in_prefix_order(self, populated):
+        keys = [prefix for prefix, _ in populated.items()]
+        assert keys == sorted(keys)
+
+    def test_iteration_yields_prefixes(self, populated):
+        assert set(populated) == {
+            p("10.0.0.0/8"), p("10.1.0.0/16"), p("10.1.2.0/24"), p("192.168.0.0/16"),
+        }

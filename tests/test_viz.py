@@ -1,0 +1,130 @@
+"""Unit tests for the visualisation layer: SVG builder, layout, charts."""
+
+import math
+
+import pytest
+
+from repro.attacks.lab import HijackLab
+from repro.viz.charts import Series, bar_line_chart, line_chart
+from repro.viz.layout import PolarLayout
+from repro.viz.polar import PolarRenderer, render_attack_frames
+from repro.viz.svg import SvgCanvas
+
+
+class TestSvgCanvas:
+    def test_document_structure(self):
+        canvas = SvgCanvas(100, 50)
+        canvas.line(0, 0, 10, 10)
+        canvas.circle(5, 5, 2, fill="red")
+        canvas.text(1, 1, "hi & bye")
+        text = canvas.to_string()
+        assert text.startswith("<svg ")
+        assert text.rstrip().endswith("</svg>")
+        assert "<line" in text and "<circle" in text
+        assert "hi &amp; bye" in text  # XML escaping
+
+    def test_background_rect(self):
+        assert "<rect" in SvgCanvas(10, 10).to_string()
+        assert "<rect" not in SvgCanvas(10, 10, background=None).to_string()
+
+    def test_polyline_points(self):
+        canvas = SvgCanvas(10, 10)
+        canvas.polyline([(0, 0), (5, 5)], stroke="blue")
+        assert 'points="0,0 5,5"' in canvas.to_string()
+
+    def test_save(self, tmp_path):
+        canvas = SvgCanvas(10, 10)
+        path = canvas.save(tmp_path / "sub" / "x.svg")
+        assert path.exists()
+        assert path.read_text().startswith("<svg")
+
+
+class TestPolarLayout:
+    @pytest.fixture(scope="class")
+    def layout(self, medium_graph):
+        from repro.topology.generator import default_address_plan
+
+        return PolarLayout.compute(
+            medium_graph, plan=default_address_plan(medium_graph)
+        )
+
+    def test_every_as_positioned(self, layout, medium_graph):
+        assert set(layout.positions) == set(medium_graph.asns())
+
+    def test_radius_encodes_depth(self, layout, medium_graph):
+        from repro.topology.classify import effective_depth
+
+        depth = effective_depth(medium_graph)
+        shallow = [p.radius for p in layout.positions.values() if depth[p.asn] == 0]
+        deep = [p.radius for p in layout.positions.values() if depth[p.asn] >= 3]
+        if shallow and deep:
+            assert min(shallow) > max(deep)
+
+    def test_radii_in_unit_disc(self, layout):
+        for position in layout.positions.values():
+            assert 0.0 < position.radius <= 1.0
+            assert 0.0 <= position.angle < 2 * math.pi + 1e-9
+
+    def test_size_scales_with_address_space(self, layout, medium_graph):
+        sizes = [p.size for p in layout.positions.values()]
+        assert max(sizes) > min(sizes)
+
+    def test_xy_projection(self, layout):
+        position = next(iter(layout.positions.values()))
+        x, y = position.xy(center=100, scale=90)
+        assert math.hypot(x - 100, y - 100) == pytest.approx(
+            90 * position.radius, abs=1e-6
+        )
+
+
+class TestPolarRenderer:
+    def test_frames_rendered(self, mini_graph, tmp_path):
+        lab = HijackLab(mini_graph, seed=1)
+        _, attack = lab.animate(50, 60)
+        layout = PolarLayout.compute(mini_graph, plan=lab.plan)
+        renderer = PolarRenderer(layout=layout, view=lab.view, size=300)
+        frames = render_attack_frames(
+            renderer, attack, tmp_path, attacker_asn=60, target_asn=50
+        )
+        assert len(frames) == attack.generations
+        first = frames[0].read_text()
+        assert "generation" in first and "<svg" in first
+
+    def test_frame_shows_accept_and_reject_lines(self, mini_graph, tmp_path):
+        lab = HijackLab(mini_graph, seed=1)
+        _, attack = lab.animate(50, 60)
+        layout = PolarLayout.compute(mini_graph, plan=lab.plan)
+        renderer = PolarRenderer(layout=layout, view=lab.view, size=300)
+        frames = render_attack_frames(
+            renderer, attack, tmp_path, attacker_asn=60, target_asn=50
+        )
+        combined = "".join(path.read_text() for path in frames)
+        assert "#c0392b" in combined  # accepted / polluted
+        assert "#27ae60" in combined  # rejected
+
+
+class TestCharts:
+    def test_line_chart_contains_series_and_legend(self, tmp_path):
+        series = [
+            Series.from_pairs("alpha", [(0, 10), (5, 5), (10, 0)]),
+            Series.from_pairs("beta", [(0, 8), (10, 1)]),
+        ]
+        canvas = line_chart(series, title="T", x_label="x", y_label="y")
+        text = canvas.to_string()
+        assert "alpha" in text and "beta" in text and "T" in text
+        assert text.count("<polyline") == 2
+
+    def test_line_chart_empty_series(self):
+        canvas = line_chart([], title="T", x_label="x", y_label="y")
+        assert "<svg" in canvas.to_string()
+
+    def test_bar_line_chart(self):
+        canvas = bar_line_chart(
+            {0: 10, 1: 5, 2: 1},
+            {0: 100.0, 1: 300.0, 2: 900.0},
+            title="F7", x_label="probes", bar_label="attacks", line_label="mean",
+        )
+        text = canvas.to_string()
+        assert text.count("<rect") >= 4  # background + three bars
+        assert "<polyline" in text
+        assert "F7" in text
