@@ -1,0 +1,143 @@
+"""BENCH-PAR — sequential vs parallel sweep execution + convergence cache.
+
+Not a paper figure: this benchmark tracks the performance trajectory of
+the sweep engine itself, so every future perf PR has a baseline to beat.
+It measures, on the default 4,270-AS synthetic topology:
+
+* one vulnerability sweep run sequentially (``workers=1``) and through
+  the fork-based pool (``REPRO_BENCH_WORKERS`` or 4), asserting the two
+  outcome sets are **bit-identical** before reporting the speedup;
+* the Fig. 7-style random-attack workload with a cold vs a warm
+  convergence cache, reporting the hit rate and the cached speedup.
+
+Parallel speedup assertions are gated on the machine actually having
+multiple usable cores — on a single-core runner the pool can only tie
+(the equality checks still run); the numbers are recorded either way
+under ``bench_parallel`` in the result store. See ``docs/performance.md``
+for how to read the output.
+"""
+
+from __future__ import annotations
+
+import os
+import time
+
+from benchmarks.conftest import AS_COUNT, RESULTS_DIR, SAMPLE, SEED, WORKERS
+
+from repro.attacks.lab import HijackLab
+from repro.experiments.config import ExperimentResult
+from repro.parallel import ConvergenceCache, resolve_workers
+from repro.topology.generator import GeneratorConfig, generate_topology
+from repro.util.tables import render_table
+
+# How many random attacks to use for the cache half of the benchmark;
+# scaled down from the paper's 8,000 so the benchmark stays minutes-cheap.
+CACHE_ATTACKS = int(os.environ.get("REPRO_BENCH_CACHE_ATTACKS", "") or 600)
+
+
+def _available_cores() -> int:
+    try:
+        return len(os.sched_getaffinity(0))
+    except AttributeError:  # pragma: no cover - non-Linux
+        return os.cpu_count() or 1
+
+
+def _outcomes_equal(a, b) -> bool:
+    return (
+        list(a) == list(b)
+        and all(
+            a[key].polluted_asns == b[key].polluted_asns
+            and a[key].blocked_asns == b[key].blocked_asns
+            and a[key].address_fraction == b[key].address_fraction
+            for key in a
+        )
+    )
+
+
+def test_parallel_sweep_and_cache(benchmark, store):
+    graph = generate_topology(GeneratorConfig.scaled(AS_COUNT, seed=SEED))
+    workers = resolve_workers(WORKERS) if WORKERS != 1 else 4
+    target = HijackLab(graph, seed=SEED).attacker_pool(transit_only=True)[3]
+
+    def run() -> dict[str, float]:
+        measurements: dict[str, float] = {
+            "as_count": AS_COUNT,
+            "sweep_sample": SAMPLE or 0,
+            "workers": workers,
+            "cores": _available_cores(),
+        }
+
+        # -- sweep: sequential vs pooled (fresh lab each, cold caches) ----
+        sequential_lab = HijackLab(graph, seed=SEED)
+        start = time.perf_counter()
+        sequential = sequential_lab.sweep_target(
+            target, transit_only=True, sample=SAMPLE, seed=SEED
+        )
+        measurements["sweep_sequential_s"] = time.perf_counter() - start
+
+        parallel_lab = HijackLab(graph, seed=SEED, workers=workers)
+        start = time.perf_counter()
+        parallel = parallel_lab.sweep_target(
+            target, transit_only=True, sample=SAMPLE, seed=SEED
+        )
+        measurements["sweep_parallel_s"] = time.perf_counter() - start
+        assert _outcomes_equal(sequential, parallel), (
+            "parallel sweep diverged from the sequential reference"
+        )
+        measurements["sweep_speedup"] = (
+            measurements["sweep_sequential_s"] / measurements["sweep_parallel_s"]
+        )
+
+        # -- convergence cache: cold vs warm random-attack workload -------
+        cache = ConvergenceCache(capacity=4096)
+        cached_lab = HijackLab(graph, seed=SEED, cache=cache)
+        start = time.perf_counter()
+        cold = cached_lab.random_attacks(CACHE_ATTACKS, seed=SEED)
+        measurements["random_cold_s"] = time.perf_counter() - start
+        cold_stats = cache.stats.as_dict()
+
+        start = time.perf_counter()
+        warm = cached_lab.random_attacks(CACHE_ATTACKS, seed=SEED)
+        measurements["random_warm_s"] = time.perf_counter() - start
+        assert [o.polluted_asns for o in cold] == [o.polluted_asns for o in warm], (
+            "warm-cache workload diverged from the cold-cache reference"
+        )
+        measurements["cache_attacks"] = CACHE_ATTACKS
+        measurements["cache_cold_hit_rate"] = cold_stats["hit_rate"]
+        measurements["cache_warm_hit_rate"] = cache.stats.as_dict()["hit_rate"]
+        measurements["cache_speedup"] = (
+            measurements["random_cold_s"] / measurements["random_warm_s"]
+        )
+        return measurements
+
+    measurements = benchmark.pedantic(run, rounds=1, iterations=1)
+
+    print()
+    print(
+        render_table(
+            ("metric", "value"),
+            [(key, round(value, 4)) for key, value in measurements.items()],
+            title="Parallel sweep executor + convergence cache",
+        )
+    )
+
+    result = ExperimentResult(
+        experiment_id="bench_parallel",
+        title="Sequential vs parallel sweep + convergence cache",
+        summary=dict(measurements),
+    )
+    result.save_json(RESULTS_DIR / "data")
+    store.record(
+        result,
+        params={"as_count": AS_COUNT, "sample": SAMPLE, "seed": SEED,
+                "workers": workers},
+    )
+
+    # The warm cache must pay for itself decisively: every baseline is a
+    # hit, so the warm pass does strictly less work than the cold one.
+    assert measurements["cache_warm_hit_rate"] > measurements["cache_cold_hit_rate"]
+    assert measurements["cache_speedup"] >= 1.2
+    if _available_cores() >= 2:
+        # With real cores behind the pool the sweep must parallelize;
+        # the ~2x bar at 4 workers is deliberately conservative.
+        assert measurements["sweep_speedup"] >= min(2.0, _available_cores() * 0.45)

@@ -12,6 +12,7 @@ Scale knobs (environment variables):
 ``REPRO_BENCH_SAMPLE``     attackers per sweep  (default 1200; 0 = exhaustive)
 ``REPRO_BENCH_ATTACKS``    Fig. 7 workload size (default 8000, as the paper)
 ``REPRO_BENCH_SEED``       experiment seed      (default 2014)
+``REPRO_BENCH_WORKERS``    sweep worker processes (default 1; 0 = all cores)
 
 Run with ``pytest benchmarks/ --benchmark-only``.
 """
@@ -39,6 +40,7 @@ AS_COUNT = _env_int("REPRO_BENCH_AS_COUNT", 4270)
 SAMPLE = _env_int("REPRO_BENCH_SAMPLE", 1200) or None
 ATTACKS = _env_int("REPRO_BENCH_ATTACKS", 8000)
 SEED = _env_int("REPRO_BENCH_SEED", 2014)
+WORKERS = _env_int("REPRO_BENCH_WORKERS", 1)
 RESULTS_DIR = Path(os.environ.get("REPRO_BENCH_RESULTS", "results"))
 
 
@@ -51,6 +53,7 @@ def suite() -> ExperimentSuite:
         attacker_sample=SAMPLE,
         detection_attacks=ATTACKS,
         external_sample=200,
+        workers=WORKERS,
     )
     return ExperimentSuite(config)
 
@@ -77,6 +80,7 @@ def run_experiment(suite, store, benchmark):
                 "sample": SAMPLE,
                 "attacks": ATTACKS,
                 "seed": SEED,
+                "workers": WORKERS,
             },
         )
         return result

@@ -10,11 +10,15 @@ analysis layer.
     lab = HijackLab(generate_topology())
     outcome = lab.origin_hijack(target_asn=4000, attacker_asn=23)
     print(outcome.pollution_count)
+
+Sweeps parallelize across a fork-based process pool: construct the lab
+with ``workers=N`` (or ``workers=0`` for every available core) or pass
+``workers=`` to an individual sweep call. Results are bit-identical to
+the sequential path in the same order; see ``docs/performance.md``.
 """
 
 from __future__ import annotations
 
-from collections import OrderedDict
 from typing import Iterable, Sequence
 
 from repro.attacks.scenario import AttackOutcome, HijackKind, HijackScenario
@@ -22,6 +26,8 @@ from repro.bgp.engine import RouteState, RoutingEngine
 from repro.bgp.policy import PolicyConfig
 from repro.bgp.simulator import BGPSimulator, PropagationReport
 from repro.defense.deployment import Defense
+from repro.parallel.cache import ConvergenceCache
+from repro.parallel.executor import SweepExecutor
 from repro.prefixes.addressing import AddressPlan
 from repro.prefixes.prefix import Prefix
 from repro.topology.asgraph import ASGraph
@@ -31,8 +37,6 @@ from repro.topology.view import RoutingView
 from repro.util.rng import make_rng
 
 __all__ = ["HijackLab"]
-
-_LEGIT_CACHE_SIZE = 64
 
 
 class HijackLab:
@@ -46,24 +50,28 @@ class HijackLab:
         policy: PolicyConfig | None = None,
         defense: Defense | None = None,
         seed: int = 0,
+        workers: int = 1,
+        cache: ConvergenceCache | None = None,
     ) -> None:
         self.graph = graph
         self.plan = plan if plan is not None else default_address_plan(graph, seed=seed)
         self.policy = policy or PolicyConfig()
         self.defense = defense or Defense()
         self.seed = seed
+        self.workers = workers
         self.view = RoutingView.from_graph(graph)
         self.engine = RoutingEngine(self.view, self.policy)
-        self._legit_cache: OrderedDict[int, RouteState] = OrderedDict()
+        self.cache = cache if cache is not None else ConvergenceCache()
 
     # -- configuration -----------------------------------------------------------
 
     def with_defense(self, defense: Defense) -> "HijackLab":
         """A lab sharing this one's topology/plan but a different defense.
 
-        The legitimate-state cache is shared state-free (legit routing does
+        The convergence cache is shared state-free (legit routing does
         not depend on the defense, which only drops *bogus* routes), so the
-        clone re-uses it.
+        clone re-uses it — a deployment-ladder comparison converges each
+        baseline exactly once across every rung.
         """
         clone = HijackLab.__new__(HijackLab)
         clone.graph = self.graph
@@ -71,30 +79,34 @@ class HijackLab:
         clone.policy = self.policy
         clone.defense = defense
         clone.seed = self.seed
+        clone.workers = self.workers
         clone.view = self.view
         clone.engine = self.engine
-        clone._legit_cache = self._legit_cache
+        clone.cache = self.cache
         return clone
 
     # -- internals -----------------------------------------------------------------
 
     def _legitimate_state(self, target_node: int) -> RouteState:
-        cached = self._legit_cache.get(target_node)
-        if cached is not None:
-            self._legit_cache.move_to_end(target_node)
-            return cached
-        state = self.engine.converge(target_node)
-        self._legit_cache[target_node] = state
-        if len(self._legit_cache) > _LEGIT_CACHE_SIZE:
-            self._legit_cache.popitem(last=False)
-        return state
+        return self.cache.baseline(self.engine, target_node)
+
+    def _executor(self, workers: int | None) -> SweepExecutor:
+        return SweepExecutor(
+            self, workers=self.workers if workers is None else workers
+        )
 
     def _first_hop_filtered(self, attacker_asn: int) -> bool:
         """Defensive stub filters stop a *stub* attacker's announcements to
         its providers (the attack can still leak through peer links)."""
         return self.defense.stub_filter and not self.graph.customers(attacker_asn)
 
-    def _run(self, scenario: HijackScenario) -> AttackOutcome:
+    def run_scenario(self, scenario: HijackScenario) -> AttackOutcome:
+        """Execute one scenario synchronously in this process.
+
+        This is the unit of work the parallel executor distributes; it
+        reads only immutable lab state plus the (shared, frozen)
+        convergence cache, so concurrent execution is safe.
+        """
         view = self.view
         target_node = view.node_of(scenario.target_asn)
         attacker_node = view.node_of(scenario.attacker_asn)
@@ -134,6 +146,20 @@ class HijackLab:
             address_fraction=self.plan.fraction_owned(polluted_asns),
         )
 
+    def run_scenarios(
+        self,
+        scenarios: Iterable[HijackScenario],
+        *,
+        workers: int | None = None,
+    ) -> list[AttackOutcome]:
+        """Execute a batch of scenarios, optionally across worker processes.
+
+        The returned list matches the input order exactly, for every
+        ``workers`` value — parallel execution is an implementation detail,
+        not an observable one.
+        """
+        return self._executor(workers).run(list(scenarios))
+
     # -- single attacks ---------------------------------------------------------------
 
     def target_prefix(self, target_asn: int) -> Prefix:
@@ -150,7 +176,7 @@ class HijackLab:
             prefix=prefix if prefix is not None else self.target_prefix(target_asn),
             kind=HijackKind.ORIGIN,
         )
-        return self._run(scenario)
+        return self.run_scenario(scenario)
 
     def subprefix_hijack(
         self,
@@ -170,7 +196,7 @@ class HijackLab:
             prefix=subprefix,
             kind=HijackKind.SUBPREFIX,
         )
-        return self._run(scenario)
+        return self.run_scenario(scenario)
 
     # -- sweeps -------------------------------------------------------------------------
 
@@ -189,13 +215,16 @@ class HijackLab:
         transit_only: bool = False,
         sample: int | None = None,
         seed: int | None = None,
+        workers: int | None = None,
     ) -> dict[int, AttackOutcome]:
         """Attack one target from many attackers; the Fig. 2–6 workload.
 
         By default every other AS attacks once (the paper's worst-case
         sweep). ``sample`` draws a deterministic random subset — the
         benchmark harness uses it to keep wall-clock in check at identical
-        curve shapes.
+        curve shapes. ``workers`` overrides the lab's worker count for this
+        sweep; outcome values are identical either way, keyed and ordered
+        by attacker ASN.
         """
         if attackers is None:
             pool: Sequence[int] = self.attacker_pool(transit_only=transit_only)
@@ -211,12 +240,20 @@ class HijackLab:
             rng = make_rng(self.seed if seed is None else seed, "sweep", target_asn)
             pool = tuple(sorted(rng.sample(pool, sample)))
         prefix = self.target_prefix(target_asn)
-        outcomes: dict[int, AttackOutcome] = {}
-        for attacker_asn in pool:
-            outcomes[attacker_asn] = self.origin_hijack(
-                target_asn, attacker_asn, prefix=prefix
+        scenarios = [
+            HijackScenario(
+                target_asn=target_asn,
+                attacker_asn=attacker_asn,
+                prefix=prefix,
+                kind=HijackKind.ORIGIN,
             )
-        return outcomes
+            for attacker_asn in pool
+        ]
+        results = self._executor(workers).run(scenarios)
+        return {
+            scenario.attacker_asn: outcome
+            for scenario, outcome in zip(scenarios, results)
+        }
 
     def random_attacks(
         self,
@@ -224,18 +261,31 @@ class HijackLab:
         *,
         transit_only: bool = True,
         seed: int | None = None,
+        workers: int | None = None,
     ) -> list[AttackOutcome]:
         """Random attacker/target pairs: the Fig. 7 detection workload
-        ("8000 random simulated IP hijacks… chosen from the transit ASes")."""
+        ("8000 random simulated IP hijacks… chosen from the transit ASes").
+
+        Pair generation is purely RNG-driven (it never looks at routing
+        outcomes), so the drawn workload — and the returned outcome list —
+        is identical for every ``workers`` setting.
+        """
         pool = self.attacker_pool(transit_only=transit_only)
         rng = make_rng(self.seed if seed is None else seed, "random-attacks", count)
-        outcomes: list[AttackOutcome] = []
-        while len(outcomes) < count:
+        scenarios: list[HijackScenario] = []
+        while len(scenarios) < count:
             target_asn, attacker_asn = rng.sample(pool, 2)
             if self.view.node_of(target_asn) == self.view.node_of(attacker_asn):
                 continue
-            outcomes.append(self.origin_hijack(target_asn, attacker_asn))
-        return outcomes
+            scenarios.append(
+                HijackScenario(
+                    target_asn=target_asn,
+                    attacker_asn=attacker_asn,
+                    prefix=self.target_prefix(target_asn),
+                    kind=HijackKind.ORIGIN,
+                )
+            )
+        return self._executor(workers).run(scenarios)
 
     # -- observable propagation (Fig. 1) ---------------------------------------------
 

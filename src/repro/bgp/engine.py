@@ -28,8 +28,9 @@ incumbent, exactly the paper's announce-only RIB model.
 
 from __future__ import annotations
 
+import hashlib
 from dataclasses import dataclass
-from typing import Collection, Iterable
+from typing import Collection, Iterable, MutableSequence, Sequence
 
 from repro.bgp.policy import PolicyConfig, prefers
 from repro.topology.relationships import RouteClass
@@ -56,13 +57,21 @@ class RouteState:
     ``parent`` the next-hop node (−1 for none/origin) and ``origin_of`` the
     origin node of the installed route (−1 when none). After a hijack pass
     the state mixes entries for the legitimate and the bogus origin.
+
+    A state that will be shared — cached as a clean baseline and reused
+    across many hijack passes, possibly from several worker processes —
+    should be :meth:`frozen <freeze>` first: its arrays become tuples, so
+    any accidental in-place write raises immediately instead of silently
+    contaminating every later attack computed on top of it. A hijack pass
+    never needs to write into its baseline: :meth:`RoutingEngine.converge`
+    always works on a :meth:`copy_for` copy of ``base``.
     """
 
     origin: int
-    cls: list[int]
-    length: list[int]
-    parent: list[int]
-    origin_of: list[int]
+    cls: MutableSequence[int] | Sequence[int]
+    length: MutableSequence[int] | Sequence[int]
+    parent: MutableSequence[int] | Sequence[int]
+    origin_of: MutableSequence[int] | Sequence[int]
 
     @classmethod
     def empty(cls, size: int, origin: int) -> "RouteState":
@@ -82,6 +91,27 @@ class RouteState:
             parent=list(self.parent),
             origin_of=list(self.origin_of),
         )
+
+    def freeze(self) -> "RouteState":
+        """Make the arrays immutable (idempotent); returns ``self``."""
+        self.cls = tuple(self.cls)
+        self.length = tuple(self.length)
+        self.parent = tuple(self.parent)
+        self.origin_of = tuple(self.origin_of)
+        return self
+
+    @property
+    def is_frozen(self) -> bool:
+        return isinstance(self.cls, tuple)
+
+    def checksum(self) -> str:
+        """Content digest over every array — detects in-place mutation."""
+        digest = hashlib.blake2b(digest_size=16)
+        digest.update(str(self.origin).encode())
+        for array in (self.cls, self.length, self.parent, self.origin_of):
+            digest.update(b"|")
+            digest.update(",".join(map(str, array)).encode())
+        return digest.hexdigest()
 
     # -- queries -------------------------------------------------------------
 

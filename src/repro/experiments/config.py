@@ -26,7 +26,9 @@ class ExperimentConfig:
     (the paper attacks from all 42,696 ASes; ``None`` reproduces that
     exhaustively, the default keeps a full figure under a minute at
     indistinguishable curve shape). ``detection_attacks`` is the Fig. 7
-    workload size (paper: 8,000).
+    workload size (paper: 8,000). ``workers`` is the sweep-executor
+    parallelism (1 = sequential, 0 = every available core); it changes
+    wall-clock only, never a result.
     """
 
     topology: GeneratorConfig = field(default_factory=GeneratorConfig)
@@ -35,6 +37,7 @@ class ExperimentConfig:
     attacker_sample: int | None = 1200
     detection_attacks: int = 8000
     external_sample: int = 200
+    workers: int = 1
 
     def scaled(self, *, attacker_sample: int | None, detection_attacks: int) -> "ExperimentConfig":
         """A copy with different workload sizes (used by fast CI runs)."""
@@ -45,6 +48,7 @@ class ExperimentConfig:
             attacker_sample=attacker_sample,
             detection_attacks=detection_attacks,
             external_sample=self.external_sample,
+            workers=self.workers,
         )
 
 

@@ -55,7 +55,11 @@ class ExperimentSuite:
     def __init__(self, config: ExperimentConfig | None = None) -> None:
         self.config = config or ExperimentConfig()
         self.graph = generate_topology(self.config.topology)
-        self.lab = HijackLab(self.graph, seed=self.config.seed)
+        # The lab-level worker count flows into every sweep the suite (and
+        # its with_defense clones) runs; results are worker-invariant.
+        self.lab = HijackLab(
+            self.graph, seed=self.config.seed, workers=self.config.workers
+        )
         self.roles: RoleCatalog = resolve_roles(self.graph)
         self.publication = PublicationState.full(self.lab.plan)
         self.authority = self.publication.table()
@@ -449,6 +453,7 @@ class ExperimentSuite:
             rehomed_lab = HijackLab(
                 apply_rehoming(self.graph, plan),
                 plan=self.lab.plan, policy=self.lab.policy, seed=self.config.seed,
+                workers=self.config.workers,
             )
             after = regional_attack_study(
                 rehomed_lab, target, region,

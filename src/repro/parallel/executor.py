@@ -1,0 +1,154 @@
+"""The parallel attack-sweep executor.
+
+Shards a batch of :class:`~repro.attacks.scenario.HijackScenario` across a
+fork-based process pool. The design leans on three facts:
+
+* the expensive inputs — the compiled :class:`RoutingView`, the
+  :class:`RoutingEngine`, the address plan and any pre-warmed baseline
+  states — are **immutable during a sweep**, so ``fork`` shares them with
+  every worker through copy-on-write memory: nothing is pickled per task
+  except the scenario tuples going in and the outcomes coming back;
+* each scenario is computed independently by pure-function machinery, so
+  results are **bit-identical to the sequential path** and the output
+  order is simply the input order, regardless of worker count or chunk
+  boundaries (enforced by ``tests/integration/test_engine_equivalence.py``);
+* clean-baseline convergence is attacker-independent, so the parent
+  **pre-warms the convergence cache** once per distinct target before
+  forking — workers inherit the baselines instead of each re-converging
+  them.
+
+When ``workers <= 1``, the platform lacks ``fork`` (e.g. Windows/macOS
+spawn-only configurations), or the batch is trivially small, the executor
+transparently degrades to the in-process sequential loop — same results,
+no pool overhead.
+"""
+
+from __future__ import annotations
+
+import multiprocessing
+import os
+from typing import TYPE_CHECKING, Sequence
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard (lab imports us)
+    from repro.attacks.lab import HijackLab
+    from repro.attacks.scenario import AttackOutcome, HijackScenario
+
+__all__ = ["SweepExecutor", "fork_available", "resolve_workers"]
+
+# Minimum batch size before a pool is worth its setup cost.
+_MIN_PARALLEL_SCENARIOS = 8
+
+# Set in the parent immediately before forking the pool; workers inherit
+# it (with the warm caches it carries) through copy-on-write memory.
+_WORKER_LAB: "HijackLab | None" = None
+
+
+def fork_available() -> bool:
+    return "fork" in multiprocessing.get_all_start_methods()
+
+
+def resolve_workers(workers: int | None) -> int:
+    """Normalize a ``workers`` request: ``None``/1 → sequential, 0 → all
+    available cores, otherwise the requested count."""
+    if workers is None:
+        return 1
+    if workers == 0:
+        try:
+            return max(1, len(os.sched_getaffinity(0)))
+        except AttributeError:  # pragma: no cover - non-Linux
+            return max(1, os.cpu_count() or 1)
+    if workers < 0:
+        raise ValueError(f"workers must be >= 0, got {workers}")
+    return workers
+
+
+def _run_chunk(chunk: tuple[HijackScenario, ...]) -> list[AttackOutcome]:
+    lab = _WORKER_LAB
+    assert lab is not None, "worker forked without a lab installed"
+    return [lab.run_scenario(scenario) for scenario in chunk]
+
+
+class SweepExecutor:
+    """Runs scenario batches for one lab, in-process or across a pool."""
+
+    def __init__(
+        self,
+        lab: "HijackLab",
+        *,
+        workers: int | None = None,
+        chunk_size: int | None = None,
+    ) -> None:
+        self.lab = lab
+        self.workers = resolve_workers(workers)
+        self.chunk_size = chunk_size
+
+    # -- internals ---------------------------------------------------------
+
+    def _chunks(
+        self, scenarios: Sequence[HijackScenario], workers: int
+    ) -> list[tuple[HijackScenario, ...]]:
+        if self.chunk_size is not None:
+            size = max(1, self.chunk_size)
+        else:
+            # Small enough to keep per-result memory bounded and the pool
+            # load-balanced, large enough to amortize pickling.
+            size = max(1, min(64, -(-len(scenarios) // (workers * 8))))
+        return [
+            tuple(scenarios[start : start + size])
+            for start in range(0, len(scenarios), size)
+        ]
+
+    def _prewarm(self, scenarios: Sequence[HijackScenario]) -> None:
+        """Converge each distinct origin-hijack target once, in the parent.
+
+        Baselines land frozen in the lab's convergence cache, which forked
+        workers then share copy-on-write. Bounded by the cache capacity:
+        past that, extra pre-warming would only evict what was just
+        computed, so late targets are left for the workers.
+        """
+        # Imported here, not at module top: the attacks package imports this
+        # module, so a top-level import would make ``import repro.parallel``
+        # fail whenever it runs before ``repro.attacks``.
+        from repro.attacks.scenario import HijackKind
+
+        budget = self.lab.cache.capacity
+        seen: set[int] = set()
+        for scenario in scenarios:
+            if scenario.kind is not HijackKind.ORIGIN:
+                continue
+            node = self.lab.view.node_of(scenario.target_asn)
+            if node in seen:
+                continue
+            if len(seen) >= budget:
+                break
+            seen.add(node)
+            self.lab._legitimate_state(node)
+
+    # -- public API --------------------------------------------------------
+
+    def run(self, scenarios: Sequence[HijackScenario]) -> list[AttackOutcome]:
+        """Execute every scenario; results are returned in input order."""
+        workers = min(self.workers, len(scenarios))
+        if (
+            workers <= 1
+            or not fork_available()
+            or len(scenarios) < _MIN_PARALLEL_SCENARIOS
+        ):
+            return [self.lab.run_scenario(scenario) for scenario in scenarios]
+
+        global _WORKER_LAB
+        self._prewarm(scenarios)
+        chunks = self._chunks(scenarios, workers)
+        context = multiprocessing.get_context("fork")
+        _WORKER_LAB = self.lab
+        try:
+            with context.Pool(processes=workers) as pool:
+                outcomes: list[AttackOutcome] = []
+                # imap (not imap_unordered) preserves submission order, and
+                # only `workers` chunks are in flight at a time, so peak
+                # memory stays bounded by outcomes + a few chunks.
+                for chunk_outcomes in pool.imap(_run_chunk, chunks):
+                    outcomes.extend(chunk_outcomes)
+        finally:
+            _WORKER_LAB = None
+        return outcomes

@@ -3,7 +3,8 @@ details, suite drivers not exercised elsewhere."""
 
 import pytest
 
-from repro.attacks.lab import HijackLab, _LEGIT_CACHE_SIZE
+from repro.attacks.lab import HijackLab
+from repro.parallel import ConvergenceCache
 from repro.prefixes.addressing import AddressPlan
 from repro.viz.charts import _nice_step, _ticks
 
@@ -29,15 +30,17 @@ class TestChartScales:
 
 class TestLabCache:
     def test_cache_bounded(self, medium_graph):
-        lab = HijackLab(medium_graph, seed=3)
+        capacity = 64
+        lab = HijackLab(medium_graph, seed=3, cache=ConvergenceCache(capacity))
         asns = medium_graph.asns()
         attacker = asns[0]
-        targets = [asn for asn in asns[1:] if asn != attacker][: _LEGIT_CACHE_SIZE + 10]
+        targets = [asn for asn in asns[1:] if asn != attacker][: capacity + 10]
         for target in targets:
             if lab.view.node_of(target) == lab.view.node_of(attacker):
                 continue
             lab.origin_hijack(target, attacker)
-        assert len(lab._legit_cache) <= _LEGIT_CACHE_SIZE
+        assert len(lab.cache) <= capacity
+        assert lab.cache.stats.evictions > 0
 
     def test_cache_hit_returns_same_object(self, medium_graph):
         lab = HijackLab(medium_graph, seed=3)
