@@ -8,7 +8,10 @@ It measures, on the default 4,270-AS synthetic topology:
   the fork-based pool (``REPRO_BENCH_WORKERS`` or 4), asserting the two
   outcome sets are **bit-identical** before reporting the speedup;
 * the Fig. 7-style random-attack workload with a cold vs a warm
-  convergence cache, reporting the hit rate and the cached speedup.
+  convergence cache, reporting the hit rate and the cached speedup;
+* a reduced sweep with the runtime invariant checker
+  (``HijackLab(validate=True)``, see ``docs/testing.md``) off vs on,
+  asserting identical outcomes and reporting what ``--validate`` costs.
 
 Parallel speedup assertions are gated on the machine actually having
 multiple usable cores — on a single-core runner the pool can only tie
@@ -107,6 +110,29 @@ def test_parallel_sweep_and_cache(benchmark, store):
         measurements["cache_warm_hit_rate"] = cache.stats.as_dict()["hit_rate"]
         measurements["cache_speedup"] = (
             measurements["random_cold_s"] / measurements["random_warm_s"]
+        )
+
+        # -- runtime invariant checking: off (default) vs on --------------
+        # A reduced sweep keeps the validated pass minutes-cheap (the
+        # checker is O(edges) per convergence, on par with the convergence
+        # itself). Outcomes must be identical — validation observes, never
+        # steers — and the recorded ratio tracks what --validate costs.
+        validate_sample = min(SAMPLE or 120, 120)
+        start = time.perf_counter()
+        unchecked = HijackLab(graph, seed=SEED).sweep_target(
+            target, transit_only=True, sample=validate_sample, seed=SEED
+        )
+        measurements["validate_off_s"] = time.perf_counter() - start
+        start = time.perf_counter()
+        checked = HijackLab(graph, seed=SEED, validate=True).sweep_target(
+            target, transit_only=True, sample=validate_sample, seed=SEED
+        )
+        measurements["validate_on_s"] = time.perf_counter() - start
+        assert _outcomes_equal(unchecked, checked), (
+            "validated sweep diverged from the unchecked reference"
+        )
+        measurements["validate_overhead"] = (
+            measurements["validate_on_s"] / measurements["validate_off_s"]
         )
         return measurements
 

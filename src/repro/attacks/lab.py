@@ -52,6 +52,7 @@ class HijackLab:
         seed: int = 0,
         workers: int = 1,
         cache: ConvergenceCache | None = None,
+        validate: bool = False,
     ) -> None:
         self.graph = graph
         self.plan = plan if plan is not None else default_address_plan(graph, seed=seed)
@@ -59,9 +60,15 @@ class HijackLab:
         self.defense = defense or Defense()
         self.seed = seed
         self.workers = workers
+        self.validate = validate
         self.view = RoutingView.from_graph(graph)
-        self.engine = RoutingEngine(self.view, self.policy)
-        self.cache = cache if cache is not None else ConvergenceCache()
+        # validate=True turns on the runtime invariant checker after every
+        # convergence and per-hit cache verification (see docs/testing.md);
+        # the default path is unchanged.
+        self.engine = RoutingEngine(self.view, self.policy, validate=validate)
+        self.cache = (
+            cache if cache is not None else ConvergenceCache(verify=validate)
+        )
 
     # -- configuration -----------------------------------------------------------
 
@@ -80,6 +87,7 @@ class HijackLab:
         clone.defense = defense
         clone.seed = self.seed
         clone.workers = self.workers
+        clone.validate = self.validate
         clone.view = self.view
         clone.engine = self.engine
         clone.cache = self.cache

@@ -156,11 +156,27 @@ class RouteState:
 
 
 class RoutingEngine:
-    """Direct computation of converged routing states over a view."""
+    """Direct computation of converged routing states over a view.
 
-    def __init__(self, view: RoutingView, policy: PolicyConfig | None = None) -> None:
+    With ``validate=True`` every convergence is followed by the
+    structural invariant suite from :mod:`repro.oracle.invariants`
+    (loop-free parents, valley-free final classes, preference stability,
+    blocked coherence) — a runtime tripwire for exactly the class of
+    wrong-but-plausible outcomes a fast path can produce. The default
+    (off) path costs one boolean test per convergence; the hot
+    propagation loop is untouched either way.
+    """
+
+    def __init__(
+        self,
+        view: RoutingView,
+        policy: PolicyConfig | None = None,
+        *,
+        validate: bool = False,
+    ) -> None:
         self.view = view
         self.policy = policy or PolicyConfig()
+        self.validate = validate
 
     # -- public API ------------------------------------------------------------
 
@@ -256,6 +272,17 @@ class RoutingEngine:
                         origin_of[node] = origin
                         push_exports(node, route_class, route_length)
             route_length += 1
+        if self.validate:
+            # Imported lazily: the oracle package imports this module.
+            from repro.oracle.invariants import check_route_state
+
+            check_route_state(
+                view,
+                state,
+                policy=self.policy,
+                blocked=blocked_set,
+                first_hop_filtered=filter_first_hop_providers,
+            )
         return state
 
     def hijack(

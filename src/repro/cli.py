@@ -8,6 +8,8 @@ Subcommands cover the everyday workflows:
 * ``sweep``     — vulnerability profile of one target
 * ``figure``    — regenerate a paper figure/table (or ``all``)
 * ``plan``      — run the Section VII self-interest playbook for a region
+* ``validate``  — run the differential oracle + invariant suite
+  (engine vs the slow reference simulator; see docs/testing.md)
 """
 
 from __future__ import annotations
@@ -60,6 +62,8 @@ def build_parser() -> argparse.ArgumentParser:
     attack.add_argument("-i", "--input", type=Path)
     attack.add_argument("--as-count", type=int, default=4270)
     attack.add_argument("--subprefix", action="store_true", help="announce a more-specific instead")
+    attack.add_argument("--validate", action="store_true",
+                        help="run the invariant checker on every convergence")
 
     sweep = subparsers.add_parser("sweep", help="vulnerability profile of a target")
     sweep.add_argument("--target", type=int, required=True)
@@ -67,6 +71,8 @@ def build_parser() -> argparse.ArgumentParser:
     sweep.add_argument("--as-count", type=int, default=4270)
     sweep.add_argument("--sample", type=int, default=None, help="attacker sample size")
     sweep.add_argument("--transit-only", action="store_true")
+    sweep.add_argument("--validate", action="store_true",
+                       help="run the invariant checker on every convergence")
 
     figure = subparsers.add_parser("figure", help="regenerate a paper figure/table")
     figure.add_argument("name", choices=(*_EXPERIMENTS, "all"))
@@ -75,6 +81,8 @@ def build_parser() -> argparse.ArgumentParser:
     figure.add_argument("--sample", type=int, default=1200)
     figure.add_argument("--attacks", type=int, default=8000, help="Fig. 7 workload size")
     figure.add_argument("--store", type=Path, help="also record into this sqlite store")
+    figure.add_argument("--validate", action="store_true",
+                        help="run the invariant checker on every convergence")
 
     plan = subparsers.add_parser("plan", help="Section VII self-interest plan for a region")
     plan.add_argument("--region", required=True)
@@ -89,6 +97,21 @@ def build_parser() -> argparse.ArgumentParser:
     calibrate_cmd.add_argument("--as-count", type=int, default=4270)
     calibrate_cmd.add_argument("--agreement-samples", type=int, default=10)
     calibrate_cmd.add_argument("--path-samples", type=int, default=60)
+
+    validate_cmd = subparsers.add_parser(
+        "validate",
+        help="differential oracle + invariant health check of the routing core",
+    )
+    validate_cmd.add_argument("--cases", type=int, default=200,
+                              help="random hijack cases for the differential oracle")
+    validate_cmd.add_argument("--max-size", type=int, default=28,
+                              help="largest random topology (ASes) per case")
+    validate_cmd.add_argument("--as-count", type=int, default=900,
+                              help="generated-topology size for the invariant sweep")
+    validate_cmd.add_argument("--attacks", type=int, default=12,
+                              help="random hijacks checked on the generated topology")
+    validate_cmd.add_argument("--workers", type=int, default=2,
+                              help="worker count for the determinism cross-check")
 
     report = subparsers.add_parser(
         "report", help="run every experiment and write EXPERIMENTS.md"
@@ -130,7 +153,7 @@ def _cmd_summarize(args: argparse.Namespace) -> int:
 
 
 def _cmd_attack(args: argparse.Namespace) -> int:
-    lab = HijackLab(_topology(args), seed=args.seed)
+    lab = HijackLab(_topology(args), seed=args.seed, validate=args.validate)
     if args.subprefix:
         outcome = lab.subprefix_hijack(args.target, args.attacker)
     else:
@@ -144,7 +167,7 @@ def _cmd_attack(args: argparse.Namespace) -> int:
 
 
 def _cmd_sweep(args: argparse.Namespace) -> int:
-    lab = HijackLab(_topology(args), seed=args.seed)
+    lab = HijackLab(_topology(args), seed=args.seed, validate=args.validate)
     profile = profile_target(
         lab, args.target, transit_only=args.transit_only, sample=args.sample
     )
@@ -165,6 +188,7 @@ def _cmd_figure(args: argparse.Namespace) -> int:
         output_dir=args.output_dir,
         attacker_sample=args.sample,
         detection_attacks=args.attacks,
+        validate=args.validate,
     )
     suite = ExperimentSuite(config)
     names = _EXPERIMENTS if args.name == "all" else (args.name,)
@@ -202,6 +226,83 @@ def _cmd_calibrate(args: argparse.Namespace) -> int:
     )
     print(report.render())
     return 0 if report.healthy() else 1
+
+
+def _cmd_validate(args: argparse.Namespace) -> int:
+    from repro.oracle.differential import random_hijack_cases, run_differential
+    from repro.oracle.invariants import (
+        InvariantViolation,
+        check_convergence_deterministic,
+        check_hijack_result,
+    )
+    from repro.util.rng import make_rng
+
+    failures = 0
+
+    # 1. Differential oracle: fast engine vs the slow reference simulator
+    #    on random topologies with random blocking/policy variants.
+    try:
+        checked = run_differential(
+            random_hijack_cases(args.cases, seed=args.seed, max_size=args.max_size)
+        )
+        print(f"differential oracle: OK ({checked} random hijack cases)")
+    except AssertionError as error:
+        failures += 1
+        print(f"differential oracle: FAIL\n{error}")
+
+    # 2. Invariant suite + determinism on a generated (calibrated) topology.
+    graph = generate_topology(GeneratorConfig.scaled(args.as_count, seed=args.seed))
+    lab = HijackLab(graph, seed=args.seed)
+    rng = make_rng(args.seed, "cli-validate")
+    pool = lab.attacker_pool(transit_only=True)
+    try:
+        for _ in range(args.attacks):
+            target_asn, attacker_asn = rng.sample(pool, 2)
+            target = lab.view.node_of(target_asn)
+            attacker = lab.view.node_of(attacker_asn)
+            if target == attacker:
+                continue
+            result = lab.engine.hijack(target, attacker)
+            check_hijack_result(lab.view, result, policy=lab.policy)
+        check_convergence_deterministic(lab.engine, lab.view.node_of(pool[0]))
+        print(f"invariant suite: OK ({args.attacks} hijacks on {args.as_count} ASes)")
+    except InvariantViolation as error:
+        failures += 1
+        print(f"invariant suite: FAIL\n{error}")
+
+    # 3. Worker-permutation determinism + cache coherence: a sweep must be
+    #    bit-identical sequentially and pooled, cold and hot cache.
+    target_asn = pool[1]
+    reference = lab.sweep_target(target_asn, sample=48, seed=args.seed, workers=1)
+    divergent = False
+    for workers in (1, args.workers):
+        for _pass in ("cold", "hot"):
+            candidate = lab.sweep_target(
+                target_asn, sample=48, seed=args.seed, workers=workers
+            )
+            if list(candidate) != list(reference) or any(
+                candidate[key].polluted_asns != reference[key].polluted_asns
+                for key in reference
+            ):
+                divergent = True
+    try:
+        lab.cache.verify_coherence()
+    except InvariantViolation as error:
+        failures += 1
+        print(f"cache coherence: FAIL\n{error}")
+    else:
+        if divergent:
+            failures += 1
+            print("sweep determinism: FAIL (worker counts disagree)")
+        else:
+            print(
+                f"sweep determinism + cache coherence: OK "
+                f"(workers 1/{args.workers}, cold+hot, "
+                f"{len(lab.cache)} cached baselines)"
+            )
+
+    print("validation " + ("FAILED" if failures else "passed"))
+    return 1 if failures else 0
 
 
 def _cmd_report(args: argparse.Namespace) -> int:
@@ -243,6 +344,7 @@ _HANDLERS = {
     "figure": _cmd_figure,
     "plan": _cmd_plan,
     "calibrate": _cmd_calibrate,
+    "validate": _cmd_validate,
     "report": _cmd_report,
 }
 

@@ -28,7 +28,11 @@ class ExperimentConfig:
     indistinguishable curve shape). ``detection_attacks`` is the Fig. 7
     workload size (paper: 8,000). ``workers`` is the sweep-executor
     parallelism (1 = sequential, 0 = every available core); it changes
-    wall-clock only, never a result.
+    wall-clock only, never a result. ``validate`` arms the runtime
+    invariant checker (:mod:`repro.oracle.invariants`) on every
+    convergence the experiments run — a correctness tripwire for long
+    unattended runs, off by default because it costs roughly one extra
+    pass over the topology per convergence.
     """
 
     topology: GeneratorConfig = field(default_factory=GeneratorConfig)
@@ -38,6 +42,7 @@ class ExperimentConfig:
     detection_attacks: int = 8000
     external_sample: int = 200
     workers: int = 1
+    validate: bool = False
 
     def scaled(self, *, attacker_sample: int | None, detection_attacks: int) -> "ExperimentConfig":
         """A copy with different workload sizes (used by fast CI runs)."""
@@ -49,6 +54,7 @@ class ExperimentConfig:
             detection_attacks=detection_attacks,
             external_sample=self.external_sample,
             workers=self.workers,
+            validate=self.validate,
         )
 
 

@@ -58,7 +58,10 @@ class ExperimentSuite:
         # The lab-level worker count flows into every sweep the suite (and
         # its with_defense clones) runs; results are worker-invariant.
         self.lab = HijackLab(
-            self.graph, seed=self.config.seed, workers=self.config.workers
+            self.graph,
+            seed=self.config.seed,
+            workers=self.config.workers,
+            validate=self.config.validate,
         )
         self.roles: RoleCatalog = resolve_roles(self.graph)
         self.publication = PublicationState.full(self.lab.plan)
@@ -453,7 +456,7 @@ class ExperimentSuite:
             rehomed_lab = HijackLab(
                 apply_rehoming(self.graph, plan),
                 plan=self.lab.plan, policy=self.lab.policy, seed=self.config.seed,
-                workers=self.config.workers,
+                workers=self.config.workers, validate=self.config.validate,
             )
             after = regional_attack_study(
                 rehomed_lab, target, region,

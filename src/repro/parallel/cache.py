@@ -129,6 +129,27 @@ class ConvergenceCache:
     def clear(self) -> None:
         self._entries.clear()
 
+    def entries(self) -> list[tuple[tuple[str, int], tuple[RouteState, str | None]]]:
+        """Snapshot of ``((context, origin), (state, checksum))`` pairs.
+
+        The read surface for coherence audits
+        (:func:`repro.oracle.invariants.check_cache_coherence`); the
+        checksum is the content digest recorded at insert time.
+        """
+        return list(self._entries.items())
+
+    def verify_coherence(self) -> None:
+        """Audit every cached baseline: frozen and unmutated since insert.
+
+        Raises :class:`repro.oracle.invariants.InvariantViolation` on the
+        first incoherent entry. Unlike ``verify=True`` (which re-checks
+        one entry per hit), this sweeps the whole cache — the right tool
+        after a parallel sweep or before persisting results.
+        """
+        from repro.oracle.invariants import check_cache_coherence
+
+        check_cache_coherence(self)
+
     def contains(self, engine: RoutingEngine, origin: int) -> bool:
         return (context_digest(engine.view, engine.policy), origin) in self._entries
 
@@ -152,7 +173,10 @@ class ConvergenceCache:
             return state
         self.stats.misses += 1
         state = engine.converge(origin).freeze()
-        self._entries[key] = (state, state.checksum() if self.verify else None)
+        # The checksum is always recorded (one digest per distinct origin
+        # is noise next to the convergence itself); ``verify`` only
+        # controls whether every *hit* re-checks it.
+        self._entries[key] = (state, state.checksum())
         while len(self._entries) > self.capacity:
             self._entries.popitem(last=False)
             self.stats.evictions += 1

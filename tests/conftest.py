@@ -10,13 +10,31 @@ Two topology tiers keep the suite fast:
 
 from __future__ import annotations
 
+import os
+
 import pytest
+from hypothesis import HealthCheck, settings
 
 from repro.attacks.lab import HijackLab
 from repro.topology.asgraph import ASGraph
 from repro.topology.generator import GeneratorConfig, generate_topology
 from repro.topology.relationships import Relationship
 from repro.topology.view import RoutingView
+
+
+# Hypothesis profiles: "default" for interactive/CI runs, "fuzz" for the
+# nightly long-budget job (.github/workflows/fuzz.yml). Individual tests
+# scale their example counts through repro.oracle.strategies.example_budget
+# (REPRO_FUZZ_MULTIPLIER); the profile only adjusts reporting knobs so a
+# CI failure is reproducible from the printed blob + uploaded database.
+settings.register_profile("default", deadline=None)
+settings.register_profile(
+    "fuzz",
+    deadline=None,
+    print_blob=True,
+    suppress_health_check=[HealthCheck.too_slow, HealthCheck.data_too_large],
+)
+settings.load_profile(os.environ.get("REPRO_HYPOTHESIS_PROFILE", "default"))
 
 
 def build_mini_graph() -> ASGraph:

@@ -20,53 +20,18 @@ from repro.attacks.lab import HijackLab
 from repro.bgp.engine import RoutingEngine
 from repro.bgp.policy import PolicyConfig
 from repro.bgp.simulator import BGPSimulator
+from repro.oracle.strategies import example_budget, hierarchical_topologies
 from repro.parallel import ConvergenceCache
 from repro.prefixes.prefix import Prefix
-from repro.topology.asgraph import ASGraph
-from repro.topology.relationships import Relationship
 from repro.topology.view import RoutingView
 
 PREFIX = Prefix.parse("10.0.0.0/8")
 SWEEP_WORKER_COUNTS = (1, 2, 4)
 
-
-@st.composite
-def random_topologies(draw):
-    """A random internet-shaped AS graph (guaranteed connected hierarchy)."""
-    size = draw(st.integers(min_value=4, max_value=28))
-    tier1_count = draw(st.integers(min_value=1, max_value=min(3, size - 1)))
-    graph = ASGraph()
-    for asn in range(tier1_count):
-        graph.add_as(asn, tier1=True)
-    for a in range(tier1_count):
-        for b in range(a + 1, tier1_count):
-            graph.add_relationship(a, b, Relationship.PEER)
-    for asn in range(tier1_count, size):
-        graph.add_as(asn)
-        provider_count = draw(st.integers(min_value=1, max_value=min(3, asn)))
-        providers = draw(
-            st.lists(
-                st.integers(min_value=0, max_value=asn - 1),
-                min_size=provider_count, max_size=provider_count,
-                unique=True,
-            )
-        )
-        for provider in providers:
-            graph.add_relationship(provider, asn, Relationship.CUSTOMER)
-    # Random lateral peering between non-tier-1 nodes.
-    peer_links = draw(st.integers(min_value=0, max_value=size))
-    for _ in range(peer_links):
-        a = draw(st.integers(min_value=tier1_count, max_value=size - 1))
-        b = draw(st.integers(min_value=tier1_count, max_value=size - 1))
-        if a != b and graph.relationship(a, b) is None:
-            graph.add_relationship(a, b, Relationship.PEER)
-    # Occasional sibling pair (exercises the collapse logic end to end).
-    if size > 6 and draw(st.booleans()):
-        a = draw(st.integers(min_value=tier1_count, max_value=size - 1))
-        b = draw(st.integers(min_value=tier1_count, max_value=size - 1))
-        if a != b and graph.relationship(a, b) is None:
-            graph.add_relationship(a, b, Relationship.SIBLING)
-    return graph
+# The internet-shaped topology strategy lives in the shared library
+# (repro.oracle.strategies); the oracle-differential suite draws from the
+# same shape, so engine==simulator and engine==oracle cover one domain.
+random_topologies = hierarchical_topologies
 
 
 def assert_states_agree(view, simulator, engine_state, prefix):
@@ -83,7 +48,7 @@ def assert_states_agree(view, simulator, engine_state, prefix):
         assert engine_state.length[node] == route.length, node
 
 
-@settings(max_examples=120, deadline=None)
+@settings(max_examples=example_budget(120), deadline=None)
 @given(random_topologies(), st.data())
 def test_hijack_outcomes_identical(graph, data):
     view = RoutingView.from_graph(graph)
@@ -106,7 +71,7 @@ def test_hijack_outcomes_identical(graph, data):
     assert_states_agree(view, simulator, result.final, PREFIX)
 
 
-@settings(max_examples=60, deadline=None)
+@settings(max_examples=example_budget(60), deadline=None)
 @given(random_topologies(), st.data())
 def test_legitimate_convergence_identical(graph, data):
     view = RoutingView.from_graph(graph)
@@ -117,7 +82,7 @@ def test_legitimate_convergence_identical(graph, data):
     assert_states_agree(view, simulator, state, PREFIX)
 
 
-@settings(max_examples=40, deadline=None)
+@settings(max_examples=example_budget(40), deadline=None)
 @given(random_topologies(), st.data())
 def test_equivalence_without_tier1_exception(graph, data):
     view = RoutingView.from_graph(graph)
@@ -135,7 +100,7 @@ def test_equivalence_without_tier1_exception(graph, data):
     assert result.polluted_nodes == frozenset(report.adopters)
 
 
-@settings(max_examples=40, deadline=None)
+@settings(max_examples=example_budget(40), deadline=None)
 @given(random_topologies(), st.data())
 def test_equivalence_with_blocking(graph, data):
     view = RoutingView.from_graph(graph)
@@ -177,7 +142,7 @@ def assert_sweeps_identical(reference, candidate):
         assert a.address_fraction == b.address_fraction, key
 
 
-@settings(max_examples=10, deadline=None)
+@settings(max_examples=example_budget(10), deadline=None)
 @given(random_topologies(), st.data())
 def test_parallel_sweep_bit_identical(graph, data):
     """Random topology, random target: every worker count, cache cold and

@@ -1,34 +1,17 @@
-"""Property-based tests: CAIDA serialization round-trips any topology."""
+"""Property-based tests: CAIDA serialization round-trips any topology.
+
+Graphs come from the shared strategy library (arbitrary flat graphs, not
+hierarchies — serialization must survive anything, routable or not).
+"""
 
 from hypothesis import given
 from hypothesis import strategies as st
 
-from repro.topology.asgraph import ASGraph
+from repro.oracle.strategies import flat_graphs
 from repro.topology.caida import dumps_caida, loads_caida
-from repro.topology.relationships import Relationship
-
-_REL = st.sampled_from(
-    [Relationship.CUSTOMER, Relationship.PEER, Relationship.SIBLING]
-)
 
 
-@st.composite
-def graphs(draw):
-    size = draw(st.integers(min_value=2, max_value=30))
-    graph = ASGraph()
-    for asn in range(1, size + 1):
-        graph.add_as(asn)
-    edge_count = draw(st.integers(min_value=0, max_value=size * 2))
-    for _ in range(edge_count):
-        a = draw(st.integers(min_value=1, max_value=size))
-        b = draw(st.integers(min_value=1, max_value=size))
-        if a == b or graph.relationship(a, b) is not None:
-            continue
-        graph.add_relationship(a, b, draw(_REL))
-    return graph
-
-
-@given(graphs())
+@given(flat_graphs())
 def test_round_trip_preserves_all_links(graph):
     restored = loads_caida(dumps_caida(graph))
     assert restored.edge_count() == graph.edge_count()
@@ -36,7 +19,7 @@ def test_round_trip_preserves_all_links(graph):
         assert restored.relationship(a, b) is relationship
 
 
-@given(graphs(), st.sampled_from([1, 2]))
+@given(flat_graphs(), st.sampled_from([1, 2]))
 def test_round_trip_both_serials(graph, serial):
     restored = loads_caida(dumps_caida(graph, serial=serial))
     assert sorted(restored.asns()) == sorted(
@@ -44,6 +27,6 @@ def test_round_trip_both_serials(graph, serial):
     ) or restored.edge_count() == graph.edge_count()
 
 
-@given(graphs())
+@given(flat_graphs())
 def test_dump_is_deterministic(graph):
     assert dumps_caida(graph) == dumps_caida(graph)

@@ -1,0 +1,73 @@
+"""Properties of the MESSAGE PRIORITY rule (:func:`repro.bgp.policy.prefers`).
+
+``prefers`` is the single comparison both production engines share; these
+properties pin down that it is a strict weak order consistent with a sort
+key — which is what lets the fast engine process candidates in
+``(length, class)`` bucket order and still match the simulator — and
+that the oracle's independent transcription (:func:`_better`) agrees
+with it on every input.
+"""
+
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.bgp.policy import prefers
+from repro.oracle.reference import _better
+
+# Any installed route: ORIGIN(0) through PROVIDER(3), lengths up to a
+# loop-free diameter. ORIGIN routes always have length 0 in practice, but
+# the comparison must be well-behaved on the whole domain.
+routes = st.tuples(
+    st.integers(min_value=0, max_value=3), st.integers(min_value=0, max_value=32)
+)
+flags = st.booleans()
+
+
+def sort_key(route, *, is_tier1, tier1_shortest_path):
+    route_class, length = route
+    if is_tier1 and tier1_shortest_path:
+        return (length,)
+    return (route_class, length)
+
+
+@given(routes, flags, flags)
+def test_irreflexive(route, is_tier1, exception):
+    assert not prefers(is_tier1, route[0], route[1], route[0], route[1],
+                       tier1_shortest_path=exception)
+
+
+@given(routes, routes, flags, flags)
+def test_asymmetric(new, old, is_tier1, exception):
+    if prefers(is_tier1, new[0], new[1], old[0], old[1],
+               tier1_shortest_path=exception):
+        assert not prefers(is_tier1, old[0], old[1], new[0], new[1],
+                           tier1_shortest_path=exception)
+
+
+@given(routes, routes, routes, flags, flags)
+def test_transitive(a, b, c, is_tier1, exception):
+    beats = lambda x, y: prefers(is_tier1, x[0], x[1], y[0], y[1],
+                                 tier1_shortest_path=exception)
+    if beats(a, b) and beats(b, c):
+        assert beats(a, c)
+
+
+@given(routes, routes, flags, flags)
+def test_matches_sort_key(new, old, is_tier1, exception):
+    """Strict preference is exactly strict sort-key order — the property
+    the engine's bucket queue relies on (and why ties keep incumbents)."""
+    key = lambda route: sort_key(route, is_tier1=is_tier1,
+                                 tier1_shortest_path=exception)
+    assert prefers(is_tier1, new[0], new[1], old[0], old[1],
+                   tier1_shortest_path=exception) == (key(new) < key(old))
+
+
+@given(routes, routes, flags, flags)
+def test_oracle_transcription_agrees(new, old, is_tier1, exception):
+    """The oracle's independently transcribed rule decides every pair the
+    same way as the production rule."""
+    assert _better(
+        is_tier1, new[0], new[1], old[0], old[1], tier1_shortest_path=exception
+    ) == prefers(
+        is_tier1, new[0], new[1], old[0], old[1], tier1_shortest_path=exception
+    )

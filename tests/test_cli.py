@@ -85,6 +85,21 @@ class TestCommands:
         assert "# EXPERIMENTS" in text
         assert "FIG7" in text and "NZ_REHOMING" in text
 
+    def test_attack_validated(self, topo_file, capsys):
+        assert main(["attack", "--target", "300", "--attacker", "30",
+                     "--validate", "-i", str(topo_file)]) == 0
+        assert "polluted ASes:" in capsys.readouterr().out
+
+    def test_validate(self, capsys):
+        assert main(["validate", "--cases", "15", "--max-size", "18",
+                     "--as-count", "300", "--attacks", "6",
+                     "--workers", "2"]) == 0
+        output = capsys.readouterr().out
+        assert "differential oracle: OK" in output
+        assert "invariant suite: OK" in output
+        assert "sweep determinism + cache coherence: OK" in output
+        assert "validation passed" in output
+
     def test_plan(self, capsys):
         # Regions are generator metadata (the CAIDA format cannot carry
         # them), so plan against an in-process generated topology.

@@ -167,6 +167,17 @@ class TestBaselineSharing:
         with pytest.raises(RuntimeError, match="mutated"):
             cache.baseline(engine, 0)
 
+    def test_entries_always_record_checksums(self, engine):
+        """The insert-time checksum is stored even with verify off — it is
+        what whole-cache coherence audits compare against."""
+        cache = ConvergenceCache()
+        state = cache.baseline(engine, 0)
+        [(key, (cached, checksum))] = cache.entries()
+        assert key[1] == 0
+        assert cached is state
+        assert checksum == state.checksum()
+        cache.verify_coherence()  # a clean cache audits silently
+
     def test_freeze_is_idempotent_and_copyable(self, engine):
         state = engine.converge(0)
         frozen = state.freeze().freeze()
