@@ -4,8 +4,6 @@ Paper: an aggressive attacker vs a very vulnerable depth-5 target; the
 attack converges within 7 generations and draws 96% of the address space.
 """
 
-from benchmarks.conftest import print_summary_table
-
 
 def test_fig1_polar_propagation(run_experiment):
     result = run_experiment("fig1")

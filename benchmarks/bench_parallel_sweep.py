@@ -25,17 +25,21 @@ from __future__ import annotations
 import os
 import time
 
-from benchmarks.conftest import AS_COUNT, RESULTS_DIR, SAMPLE, SEED, WORKERS
+from benchmarks.conftest import (
+    AS_COUNT,
+    BENCH_WORKERS,
+    CACHE_ATTACKS,
+    RESULTS_DIR,
+    SAMPLE,
+    SEED,
+)
 
 from repro.attacks.lab import HijackLab
 from repro.experiments.config import ExperimentResult
-from repro.parallel import ConvergenceCache, resolve_workers
+from repro.obs import Metrics
+from repro.parallel import ConvergenceCache
 from repro.topology.generator import GeneratorConfig, generate_topology
 from repro.util.tables import render_table
-
-# How many random attacks to use for the cache half of the benchmark;
-# scaled down from the paper's 8,000 so the benchmark stays minutes-cheap.
-CACHE_ATTACKS = int(os.environ.get("REPRO_BENCH_CACHE_ATTACKS", "") or 600)
 
 
 def _available_cores() -> int:
@@ -59,14 +63,19 @@ def _outcomes_equal(a, b) -> bool:
 
 def test_parallel_sweep_and_cache(benchmark, store):
     graph = generate_topology(GeneratorConfig.scaled(AS_COUNT, seed=SEED))
-    workers = resolve_workers(WORKERS) if WORKERS != 1 else 4
+    # Separate sinks so the assertions stay exact: the parallel lab's
+    # internally constructed cache would otherwise mix its prewarm
+    # misses into the explicit cache workload's counters.
+    pool_metrics = Metrics()
+    cache_metrics = Metrics()
+    cache_stats_final: dict[str, float] = {}
     target = HijackLab(graph, seed=SEED).attacker_pool(transit_only=True)[3]
 
     def run() -> dict[str, float]:
         measurements: dict[str, float] = {
             "as_count": AS_COUNT,
             "sweep_sample": SAMPLE or 0,
-            "workers": workers,
+            "workers": BENCH_WORKERS,
             "cores": _available_cores(),
         }
 
@@ -78,7 +87,8 @@ def test_parallel_sweep_and_cache(benchmark, store):
         )
         measurements["sweep_sequential_s"] = time.perf_counter() - start
 
-        parallel_lab = HijackLab(graph, seed=SEED, workers=workers)
+        parallel_lab = HijackLab(graph, seed=SEED, workers=BENCH_WORKERS,
+                                 metrics=pool_metrics)
         start = time.perf_counter()
         parallel = parallel_lab.sweep_target(
             target, transit_only=True, sample=SAMPLE, seed=SEED
@@ -92,7 +102,7 @@ def test_parallel_sweep_and_cache(benchmark, store):
         )
 
         # -- convergence cache: cold vs warm random-attack workload -------
-        cache = ConvergenceCache(capacity=4096)
+        cache = ConvergenceCache(capacity=4096, metrics=cache_metrics)
         cached_lab = HijackLab(graph, seed=SEED, cache=cache)
         start = time.perf_counter()
         cold = cached_lab.random_attacks(CACHE_ATTACKS, seed=SEED)
@@ -105,6 +115,7 @@ def test_parallel_sweep_and_cache(benchmark, store):
         assert [o.polluted_asns for o in cold] == [o.polluted_asns for o in warm], (
             "warm-cache workload diverged from the cold-cache reference"
         )
+        cache_stats_final.update(cache.stats.as_dict())
         measurements["cache_attacks"] = CACHE_ATTACKS
         measurements["cache_cold_hit_rate"] = cold_stats["hit_rate"]
         measurements["cache_warm_hit_rate"] = cache.stats.as_dict()["hit_rate"]
@@ -138,6 +149,17 @@ def test_parallel_sweep_and_cache(benchmark, store):
 
     measurements = benchmark.pedantic(run, rounds=1, iterations=1)
 
+    # The metrics layer must report the knobs the run actually resolved:
+    # the pool gauge is the conftest-resolved worker count, and the cache
+    # counters mirror the cache's own CacheStats exactly.
+    assert pool_metrics.gauges["executor.workers"] == BENCH_WORKERS, (
+        "metrics pool gauge disagrees with the conftest-resolved worker count"
+    )
+    counters = cache_metrics.counters
+    assert counters.get("cache.hits", 0) == cache_stats_final["hits"]
+    assert counters.get("cache.misses", 0) == cache_stats_final["misses"]
+    assert counters.get("cache.evictions", 0) == cache_stats_final["evictions"]
+
     print()
     print(
         render_table(
@@ -156,7 +178,7 @@ def test_parallel_sweep_and_cache(benchmark, store):
     store.record(
         result,
         params={"as_count": AS_COUNT, "sample": SAMPLE, "seed": SEED,
-                "workers": workers},
+                "workers": BENCH_WORKERS},
     )
 
     # The warm cache must pay for itself decisively: every baseline is a

@@ -8,11 +8,19 @@ asserts the paper's qualitative shape (who wins, by roughly what factor).
 
 Scale knobs (environment variables):
 
-``REPRO_BENCH_AS_COUNT``   topology size        (default 4270 — 1/10 CAIDA)
-``REPRO_BENCH_SAMPLE``     attackers per sweep  (default 1200; 0 = exhaustive)
-``REPRO_BENCH_ATTACKS``    Fig. 7 workload size (default 8000, as the paper)
-``REPRO_BENCH_SEED``       experiment seed      (default 2014)
-``REPRO_BENCH_WORKERS``    sweep worker processes (default 1; 0 = all cores)
+``REPRO_BENCH_AS_COUNT``      topology size        (default 4270 — 1/10 CAIDA)
+``REPRO_BENCH_SAMPLE``        attackers per sweep  (default 1200; 0 = exhaustive)
+``REPRO_BENCH_ATTACKS``       Fig. 7 workload size (default 8000, as the paper)
+``REPRO_BENCH_SEED``          experiment seed      (default 2014)
+``REPRO_BENCH_WORKERS``       sweep worker processes (default 1; 0 = all cores)
+``REPRO_BENCH_CACHE_ATTACKS`` cache-workload size for BENCH-PAR (default 600)
+
+Every ``bench_*`` module reads its knobs from here — nothing else in
+``benchmarks/`` touches ``os.environ`` — so one table lists every way a
+run can be scaled. ``BENCH_WORKERS`` is the *resolved* pool size the
+parallel benchmark will actually use (the ``WORKERS`` knob passed
+through :func:`repro.parallel.resolve_workers`, with the historical
+"unset means 4" default).
 
 Run with ``pytest benchmarks/ --benchmark-only``.
 """
@@ -27,6 +35,8 @@ import pytest
 from repro.experiments.config import ExperimentConfig
 from repro.experiments.store import ResultStore
 from repro.experiments.suite import ExperimentSuite
+from repro.obs import Metrics
+from repro.parallel import resolve_workers
 from repro.topology.generator import GeneratorConfig
 from repro.util.tables import render_table
 
@@ -41,11 +51,19 @@ SAMPLE = _env_int("REPRO_BENCH_SAMPLE", 1200) or None
 ATTACKS = _env_int("REPRO_BENCH_ATTACKS", 8000)
 SEED = _env_int("REPRO_BENCH_SEED", 2014)
 WORKERS = _env_int("REPRO_BENCH_WORKERS", 1)
+CACHE_ATTACKS = _env_int("REPRO_BENCH_CACHE_ATTACKS", 600)
+BENCH_WORKERS = resolve_workers(WORKERS) if WORKERS != 1 else 4
 RESULTS_DIR = Path(os.environ.get("REPRO_BENCH_RESULTS", "results"))
 
 
 @pytest.fixture(scope="session")
-def suite() -> ExperimentSuite:
+def bench_metrics() -> Metrics:
+    """One shared metrics sink for the whole benchmark session."""
+    return Metrics()
+
+
+@pytest.fixture(scope="session")
+def suite(bench_metrics) -> ExperimentSuite:
     config = ExperimentConfig(
         topology=GeneratorConfig.scaled(AS_COUNT, seed=SEED),
         seed=SEED,
@@ -55,7 +73,7 @@ def suite() -> ExperimentSuite:
         external_sample=200,
         workers=WORKERS,
     )
-    return ExperimentSuite(config)
+    return ExperimentSuite(config, metrics=bench_metrics)
 
 
 @pytest.fixture(scope="session")
@@ -66,11 +84,15 @@ def store() -> ResultStore:
 
 @pytest.fixture
 def run_experiment(suite, store, benchmark):
-    """Time one suite method, persist its result, and return it."""
+    """Time one suite method, persist its result, and return it.
+
+    Runs through :meth:`ExperimentSuite.run`, so every timed experiment
+    also lands as a ``suite.<name>`` span in the session's metrics sink.
+    """
 
     def runner(name: str):
         result = benchmark.pedantic(
-            getattr(suite, name), rounds=1, iterations=1
+            suite.run, args=(name,), rounds=1, iterations=1
         )
         result.save_json(RESULTS_DIR / "data")
         store.record(

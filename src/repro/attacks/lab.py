@@ -26,6 +26,7 @@ from repro.bgp.engine import RouteState, RoutingEngine
 from repro.bgp.policy import PolicyConfig
 from repro.bgp.simulator import BGPSimulator, PropagationReport
 from repro.defense.deployment import Defense
+from repro.obs.metrics import NULL_METRICS, Metrics
 from repro.parallel.cache import ConvergenceCache
 from repro.parallel.executor import SweepExecutor
 from repro.prefixes.addressing import AddressPlan
@@ -53,6 +54,7 @@ class HijackLab:
         workers: int = 1,
         cache: ConvergenceCache | None = None,
         validate: bool = False,
+        metrics: Metrics | None = None,
     ) -> None:
         self.graph = graph
         self.plan = plan if plan is not None else default_address_plan(graph, seed=seed)
@@ -61,13 +63,21 @@ class HijackLab:
         self.seed = seed
         self.workers = workers
         self.validate = validate
+        # One metrics sink flows through everything the lab drives —
+        # engine convergences, cache lookups, executor runs, sweep spans
+        # (see docs/performance.md); the default NULL_METRICS is a no-op.
+        self.metrics = metrics if metrics is not None else NULL_METRICS
         self.view = RoutingView.from_graph(graph)
         # validate=True turns on the runtime invariant checker after every
         # convergence and per-hit cache verification (see docs/testing.md);
         # the default path is unchanged.
-        self.engine = RoutingEngine(self.view, self.policy, validate=validate)
+        self.engine = RoutingEngine(
+            self.view, self.policy, validate=validate, metrics=self.metrics
+        )
         self.cache = (
-            cache if cache is not None else ConvergenceCache(verify=validate)
+            cache
+            if cache is not None
+            else ConvergenceCache(verify=validate, metrics=self.metrics)
         )
 
     # -- configuration -----------------------------------------------------------
@@ -88,6 +98,7 @@ class HijackLab:
         clone.seed = self.seed
         clone.workers = self.workers
         clone.validate = self.validate
+        clone.metrics = self.metrics
         clone.view = self.view
         clone.engine = self.engine
         clone.cache = self.cache
@@ -257,7 +268,9 @@ class HijackLab:
             )
             for attacker_asn in pool
         ]
-        results = self._executor(workers).run(scenarios)
+        self.metrics.count("lab.sweeps")
+        with self.metrics.span("lab.sweep_target"):
+            results = self._executor(workers).run(scenarios)
         return {
             scenario.attacker_asn: outcome
             for scenario, outcome in zip(scenarios, results)
@@ -293,7 +306,9 @@ class HijackLab:
                     kind=HijackKind.ORIGIN,
                 )
             )
-        return self._executor(workers).run(scenarios)
+        self.metrics.count("lab.random_attack_batches")
+        with self.metrics.span("lab.random_attacks"):
+            return self._executor(workers).run(scenarios)
 
     # -- observable propagation (Fig. 1) ---------------------------------------------
 
@@ -310,6 +325,7 @@ class HijackLab:
             self.view,
             self.policy,
             validator=self.defense.validator(self.view, self.plan),
+            metrics=self.metrics,
         )
         legit = simulator.announce(
             self.view.node_of(target_asn), prefix, record_events=True

@@ -33,6 +33,7 @@ from dataclasses import dataclass
 from typing import Collection, Iterable, MutableSequence, Sequence
 
 from repro.bgp.policy import PolicyConfig, prefers
+from repro.obs.metrics import NULL_METRICS, Metrics
 from repro.topology.relationships import RouteClass
 from repro.topology.view import RoutingView
 
@@ -165,6 +166,13 @@ class RoutingEngine:
     wrong-but-plausible outcomes a fast path can produce. The default
     (off) path costs one boolean test per convergence; the hot
     propagation loop is untouched either way.
+
+    ``metrics`` (any :class:`repro.obs.Metrics`) receives per-convergence
+    counters — messages propagated, routes installed/replaced,
+    convergence rounds. The engine accumulates them in local integers and
+    emits once per convergence, so the instrumented path costs a handful
+    of dict updates per *convergence*, not per message; the default
+    ``NULL_METRICS`` sink reduces that to four no-op calls.
     """
 
     def __init__(
@@ -173,10 +181,12 @@ class RoutingEngine:
         policy: PolicyConfig | None = None,
         *,
         validate: bool = False,
+        metrics: Metrics | None = None,
     ) -> None:
         self.view = view
         self.policy = policy or PolicyConfig()
         self.validate = validate
+        self.metrics = metrics if metrics is not None else NULL_METRICS
 
     # -- public API ------------------------------------------------------------
 
@@ -248,6 +258,8 @@ class RoutingEngine:
         for customer in view.customers[origin]:
             push(customer, _CLASS_PROVIDER, 1, origin)
 
+        installs = 0
+        replaced = 0
         route_length = 0
         while route_length < len(buckets):
             bucket = buckets[route_length]
@@ -266,12 +278,30 @@ class RoutingEngine:
                             tier1_shortest_path=tier1_shortest,
                         ):
                             continue
+                        installs += 1
+                        if current_class != _NO_CLASS:
+                            replaced += 1
                         cls[node] = route_class
                         length[node] = route_length
                         parent[node] = sender
                         origin_of[node] = origin
                         push_exports(node, route_class, route_length)
             route_length += 1
+        metrics = self.metrics
+        if metrics.enabled:
+            # Every bucket entry is one announcement crossing one link;
+            # summing after the fact keeps the hot loop free of counting.
+            messages = sum(
+                len(per_class)
+                for bucket in buckets
+                if bucket is not None
+                for per_class in bucket
+            )
+            metrics.count("engine.convergences")
+            metrics.count("engine.messages", messages)
+            metrics.count("engine.routes_installed", installs)
+            metrics.count("engine.routes_replaced", replaced)
+            metrics.count("engine.convergence_rounds", len(buckets))
         if self.validate:
             # Imported lazily: the oracle package imports this module.
             from repro.oracle.invariants import check_route_state

@@ -20,6 +20,7 @@ from typing import Callable, Sequence
 
 from repro.bgp.policy import PolicyConfig, exports_to_peers_and_providers, prefers
 from repro.bgp.routes import Rib, Route
+from repro.obs.metrics import NULL_METRICS, Metrics
 from repro.prefixes.prefix import Prefix
 from repro.topology.relationships import RouteClass
 from repro.topology.view import RoutingView
@@ -80,10 +81,12 @@ class BGPSimulator:
         policy: PolicyConfig | None = None,
         *,
         validator: Validator | None = None,
+        metrics: Metrics | None = None,
     ) -> None:
         self.view = view
         self.policy = policy or PolicyConfig()
         self.validator = validator
+        self.metrics = metrics if metrics is not None else NULL_METRICS
         self._ribs: list[Rib] = [Rib() for _ in range(len(view))]
         # Edge-class lookup: class a route takes *at the receiver* when
         # learned from each neighbor.
@@ -143,6 +146,8 @@ class BGPSimulator:
             for neighbor in sorted(view.neighbor_nodes(origin))
         ]
         generation = 0
+        messages = 0
+        accepted_count = 0
         while pending:
             generation += 1
             if generation > self.policy.max_generations:
@@ -160,9 +165,12 @@ class BGPSimulator:
                 for sender, receiver, sent_route in pending
             ]
             arrivals.sort(key=lambda item: (item[0], item[1].value, item[2]))
+            messages += len(arrivals)
             for receiver, route_class, sender, sent_route in arrivals:
                 candidate = sent_route.extend(sender, route_class)
                 accepted = self._consider(receiver, candidate)
+                if accepted:
+                    accepted_count += 1
                 if record_events:
                     events.append(
                         PropagationEvent(
@@ -186,6 +194,12 @@ class BGPSimulator:
                     (node, neighbor, route)
                     for neighbor in self._export_targets(node, route)
                 )
+        metrics = self.metrics
+        if metrics.enabled:
+            metrics.count("simulator.announcements")
+            metrics.count("simulator.messages", messages)
+            metrics.count("simulator.routes_installed", accepted_count)
+            metrics.count("simulator.generations", generation)
         return PropagationReport(
             origin=origin,
             prefix=prefix,

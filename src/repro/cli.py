@@ -10,6 +10,12 @@ Subcommands cover the everyday workflows:
 * ``plan``      — run the Section VII self-interest playbook for a region
 * ``validate``  — run the differential oracle + invariant suite
   (engine vs the slow reference simulator; see docs/testing.md)
+* ``bench``     — run a scale-knobbed benchmark profile and write a
+  machine-readable ``BENCH_<name>.json`` (see docs/performance.md)
+
+The global ``--metrics <path>`` flag arms the :mod:`repro.obs` metrics
+layer for any subcommand and writes its JSON snapshot (counters, gauges,
+spans) to *path* when the command finishes.
 """
 
 from __future__ import annotations
@@ -24,6 +30,8 @@ from repro.core.vulnerability import profile_target
 from repro.experiments.config import ExperimentConfig
 from repro.experiments.store import ResultStore
 from repro.experiments.suite import ExperimentSuite
+from repro.obs.bench import PROFILES, run_bench
+from repro.obs.metrics import NULL_METRICS, Metrics
 from repro.topology.caida import dump_caida, load_caida
 from repro.topology.classify import summarize
 from repro.topology.generator import GeneratorConfig, generate_topology
@@ -44,6 +52,10 @@ def build_parser() -> argparse.ArgumentParser:
         description="BGP origin-hijack deployment-strategy simulator (ICDCS 2014 reproduction)",
     )
     parser.add_argument("--seed", type=int, default=2014, help="experiment seed")
+    parser.add_argument(
+        "--metrics", type=Path, default=None, metavar="PATH",
+        help="record runtime metrics (repro.obs) and write the JSON snapshot here",
+    )
     subparsers = parser.add_subparsers(dest="command", required=True)
 
     generate = subparsers.add_parser("generate", help="generate a synthetic topology")
@@ -113,6 +125,18 @@ def build_parser() -> argparse.ArgumentParser:
     validate_cmd.add_argument("--workers", type=int, default=2,
                               help="worker count for the determinism cross-check")
 
+    bench = subparsers.add_parser(
+        "bench",
+        help="run a benchmark profile and write machine-readable BENCH_<name>.json",
+    )
+    bench.add_argument("--profile", choices=sorted(PROFILES), default="smoke")
+    bench.add_argument(
+        "-o", "--output", type=Path, default=None,
+        help="output path (default: BENCH_<profile>.json in the current directory)",
+    )
+    bench.add_argument("--workers", type=int, default=None,
+                       help="override the profile's pool size (0 = all cores)")
+
     report = subparsers.add_parser(
         "report", help="run every experiment and write EXPERIMENTS.md"
     )
@@ -129,6 +153,11 @@ def _topology(args: argparse.Namespace):
     if getattr(args, "input", None):
         return load_caida(args.input)
     return generate_topology(GeneratorConfig.scaled(args.as_count, seed=args.seed))
+
+
+def _metrics(args: argparse.Namespace) -> Metrics:
+    """The run's metrics sink (armed by ``--metrics``, else a no-op)."""
+    return getattr(args, "metrics_sink", NULL_METRICS)
 
 
 def _cmd_generate(args: argparse.Namespace) -> int:
@@ -153,7 +182,10 @@ def _cmd_summarize(args: argparse.Namespace) -> int:
 
 
 def _cmd_attack(args: argparse.Namespace) -> int:
-    lab = HijackLab(_topology(args), seed=args.seed, validate=args.validate)
+    lab = HijackLab(
+        _topology(args), seed=args.seed, validate=args.validate,
+        metrics=_metrics(args),
+    )
     if args.subprefix:
         outcome = lab.subprefix_hijack(args.target, args.attacker)
     else:
@@ -167,7 +199,10 @@ def _cmd_attack(args: argparse.Namespace) -> int:
 
 
 def _cmd_sweep(args: argparse.Namespace) -> int:
-    lab = HijackLab(_topology(args), seed=args.seed, validate=args.validate)
+    lab = HijackLab(
+        _topology(args), seed=args.seed, validate=args.validate,
+        metrics=_metrics(args),
+    )
     profile = profile_target(
         lab, args.target, transit_only=args.transit_only, sample=args.sample
     )
@@ -190,11 +225,11 @@ def _cmd_figure(args: argparse.Namespace) -> int:
         detection_attacks=args.attacks,
         validate=args.validate,
     )
-    suite = ExperimentSuite(config)
+    suite = ExperimentSuite(config, metrics=_metrics(args))
     names = _EXPERIMENTS if args.name == "all" else (args.name,)
     store = ResultStore(args.store) if args.store else None
     for name in names:
-        result = getattr(suite, name)()
+        result = suite.run(name)
         path = result.save_json(Path(args.output_dir) / "data")
         if store is not None:
             store.record(result, params={"as_count": args.as_count, "seed": args.seed})
@@ -207,7 +242,7 @@ def _cmd_figure(args: argparse.Namespace) -> int:
 
 
 def _cmd_plan(args: argparse.Namespace) -> int:
-    lab = HijackLab(_topology(args), seed=args.seed)
+    lab = HijackLab(_topology(args), seed=args.seed, metrics=_metrics(args))
     planner = SelfInterestPlanner(lab)
     action_plan = planner.plan(args.region, target_asn=args.target)
     print(action_plan.report())
@@ -217,7 +252,7 @@ def _cmd_plan(args: argparse.Namespace) -> int:
 def _cmd_calibrate(args: argparse.Namespace) -> int:
     from repro.experiments.calibration import calibrate
 
-    lab = HijackLab(_topology(args), seed=args.seed)
+    lab = HijackLab(_topology(args), seed=args.seed, metrics=_metrics(args))
     report = calibrate(
         lab,
         agreement_samples=args.agreement_samples,
@@ -252,7 +287,7 @@ def _cmd_validate(args: argparse.Namespace) -> int:
 
     # 2. Invariant suite + determinism on a generated (calibrated) topology.
     graph = generate_topology(GeneratorConfig.scaled(args.as_count, seed=args.seed))
-    lab = HijackLab(graph, seed=args.seed)
+    lab = HijackLab(graph, seed=args.seed, metrics=_metrics(args))
     rng = make_rng(args.seed, "cli-validate")
     pool = lab.attacker_pool(transit_only=True)
     try:
@@ -305,6 +340,37 @@ def _cmd_validate(args: argparse.Namespace) -> int:
     return 1 if failures else 0
 
 
+def _cmd_bench(args: argparse.Namespace) -> int:
+    # With --metrics the snapshot sink and the bench's sink are one and
+    # the same; otherwise the bench records into its own private sink
+    # (the BENCH file carries the snapshot either way).
+    sink = _metrics(args)
+    payload, path = run_bench(
+        args.profile,
+        output=args.output,
+        workers=args.workers,
+        metrics=sink if sink.enabled else None,
+    )
+    timings = payload["timings"]
+    speedups = payload["speedups"]
+    derived = payload["derived"]
+    rows = [(key, round(value, 4)) for key, value in sorted(timings.items())]
+    print(render_table(("phase", "seconds"), rows, title=f"bench profile: {args.profile}"))
+    print(
+        f"speedups: parallel sweep {speedups['sweep_parallel']:.2f}x, "
+        f"warm cache {speedups['cache_warm']:.2f}x"
+    )
+    print(
+        f"metrics overhead: {derived['metrics_overhead_fraction']:+.2%} "
+        f"(budget < 3%)"
+    )
+    if not derived["outcomes_consistent"]:
+        print("ERROR: parallel sweep outcomes diverged from sequential", file=sys.stderr)
+        return 1
+    print(f"wrote {path}")
+    return 0
+
+
 def _cmd_report(args: argparse.Namespace) -> int:
     from repro.experiments.reportgen import render_experiments_markdown
 
@@ -315,11 +381,11 @@ def _cmd_report(args: argparse.Namespace) -> int:
         attacker_sample=args.sample,
         detection_attacks=args.attacks,
     )
-    suite = ExperimentSuite(config)
+    suite = ExperimentSuite(config, metrics=_metrics(args))
     results = []
     for name in _EXPERIMENTS:
         print(f"running {name}…", flush=True)
-        result = getattr(suite, name)()
+        result = suite.run(name)
         result.save_json(Path(args.output_dir) / "data")
         results.append(result)
     text = render_experiments_markdown(
@@ -345,13 +411,19 @@ _HANDLERS = {
     "plan": _cmd_plan,
     "calibrate": _cmd_calibrate,
     "validate": _cmd_validate,
+    "bench": _cmd_bench,
     "report": _cmd_report,
 }
 
 
 def main(argv: list[str] | None = None) -> int:
     args = build_parser().parse_args(argv)
-    return _HANDLERS[args.command](args)
+    args.metrics_sink = Metrics() if args.metrics else NULL_METRICS
+    status = _HANDLERS[args.command](args)
+    if args.metrics:
+        path = args.metrics_sink.write_json(args.metrics)
+        print(f"wrote metrics snapshot to {path}")
+    return status
 
 
 if __name__ == "__main__":  # pragma: no cover

@@ -70,7 +70,7 @@ def purge_response(
     filter installed on alert). Non-responders keep believing whatever
     still reaches them.
     """
-    from repro.defense.deployment import Defense, FilterRule
+    from repro.defense.deployment import FilterRule
 
     scenario = outcome.scenario
     rules = tuple(

@@ -40,6 +40,7 @@ from repro.core.vulnerability import VulnerabilityProfile
 from repro.defense.deployment import Defense, FilterRule
 from repro.defense.strategies import paper_ladder
 from repro.experiments.config import ExperimentConfig, ExperimentResult
+from repro.obs.metrics import NULL_METRICS, Metrics
 from repro.registry.publication import PublicationState
 from repro.topology.generator import generate_topology
 from repro.viz.charts import Series, bar_line_chart, line_chart
@@ -52,9 +53,16 @@ __all__ = ["ExperimentSuite"]
 class ExperimentSuite:
     """All paper experiments over one configured topology."""
 
-    def __init__(self, config: ExperimentConfig | None = None) -> None:
+    def __init__(
+        self,
+        config: ExperimentConfig | None = None,
+        *,
+        metrics: Metrics | None = None,
+    ) -> None:
         self.config = config or ExperimentConfig()
-        self.graph = generate_topology(self.config.topology)
+        self.metrics = metrics if metrics is not None else NULL_METRICS
+        with self.metrics.span("suite.topology"):
+            self.graph = generate_topology(self.config.topology)
         # The lab-level worker count flows into every sweep the suite (and
         # its with_defense clones) runs; results are worker-invariant.
         self.lab = HijackLab(
@@ -62,6 +70,7 @@ class ExperimentSuite:
             seed=self.config.seed,
             workers=self.config.workers,
             validate=self.config.validate,
+            metrics=self.metrics,
         )
         self.roles: RoleCatalog = resolve_roles(self.graph)
         self.publication = PublicationState.full(self.lab.plan)
@@ -457,6 +466,7 @@ class ExperimentSuite:
                 apply_rehoming(self.graph, plan),
                 plan=self.lab.plan, policy=self.lab.policy, seed=self.config.seed,
                 workers=self.config.workers, validate=self.config.validate,
+                metrics=self.metrics,
             )
             after = regional_attack_study(
                 rehomed_lab, target, region,
@@ -575,11 +585,20 @@ class ExperimentSuite:
 
     # -- everything ---------------------------------------------------------------------------
 
+    def run(self, name: str) -> ExperimentResult:
+        """Run one experiment by name under a ``suite.<name>`` span."""
+        with self.metrics.span(f"suite.{name}"):
+            result: ExperimentResult = getattr(self, name)()
+        self.metrics.count("suite.experiments")
+        return result
+
     def run_all(self) -> list[ExperimentResult]:
         """Regenerate every figure and table (EXPERIMENTS.md's data)."""
         return [
-            self.fig1(), self.fig2(), self.fig3(), self.fig4(),
-            self.fig5(), self.fig6(), self.tab1(), self.tab2(),
-            self.fig7(), self.tab3(), self.tab4(), self.tab5(),
-            self.nz_rehoming(), self.nz_filter(), self.ext_subprefix(),
+            self.run(name)
+            for name in (
+                "fig1", "fig2", "fig3", "fig4", "fig5", "fig6",
+                "tab1", "tab2", "fig7", "tab3", "tab4", "tab5",
+                "nz_rehoming", "nz_filter", "ext_subprefix",
+            )
         ]

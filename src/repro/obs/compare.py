@@ -1,0 +1,190 @@
+"""Diff two ``BENCH_*.json`` files and flag wall-clock regressions.
+
+The perf-regression gate: given a committed baseline and a freshly
+produced candidate, every shared phase timing is compared and any
+candidate phase slower than ``baseline * (1 + threshold)`` is a
+regression. Usable as a library (:func:`compare`) or as the CI
+entrypoint::
+
+    python -m repro.obs.compare benchmarks/baselines/BENCH_smoke.json \\
+        BENCH_smoke.json --threshold 0.25
+
+Exit codes: 0 — no regression; 1 — at least one phase regressed;
+2 — unreadable/incompatible input (wrong schema, mismatched profiles).
+
+Comparing absolute wall-clock across different machines is inherently
+noisy, which is why the default threshold is a generous 25% and why the
+report always prints the env fingerprints side by side — a "regression"
+on wildly different hardware is a prompt to refresh the baseline, not
+necessarily to revert the PR (see docs/performance.md).
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+from dataclasses import dataclass
+from pathlib import Path
+
+__all__ = ["BenchComparison", "TimingDelta", "compare", "load_bench", "main"]
+
+# Phases whose wall-clock the gate enforces. ``total_s`` is deliberately
+# excluded: it double-counts every enforced phase and adds setup noise.
+DEFAULT_KEYS = (
+    "sweep_sequential_s",
+    "sweep_parallel_s",
+    "random_cold_s",
+    "random_warm_s",
+)
+
+
+class BenchFormatError(ValueError):
+    """The file is not a compatible ``BENCH_*.json``."""
+
+
+def load_bench(path: str | Path) -> dict:
+    path = Path(path)
+    try:
+        payload = json.loads(path.read_text(encoding="utf-8"))
+    except (OSError, json.JSONDecodeError) as error:
+        raise BenchFormatError(f"{path}: unreadable BENCH file ({error})") from error
+    schema = payload.get("schema") if isinstance(payload, dict) else None
+    if not isinstance(schema, str) or not schema.startswith("repro-bench/"):
+        raise BenchFormatError(f"{path}: missing/unknown schema {schema!r}")
+    if not isinstance(payload.get("timings"), dict):
+        raise BenchFormatError(f"{path}: no timings section")
+    return payload
+
+
+@dataclass(frozen=True)
+class TimingDelta:
+    """One phase's baseline-vs-candidate wall-clock comparison."""
+
+    key: str
+    baseline_s: float
+    candidate_s: float
+
+    @property
+    def ratio(self) -> float:
+        return self.candidate_s / self.baseline_s if self.baseline_s > 0 else 1.0
+
+    def regressed(self, threshold: float) -> bool:
+        return self.ratio > 1.0 + threshold
+
+
+@dataclass
+class BenchComparison:
+    """Every comparable phase, plus the verdict helpers."""
+
+    baseline_name: str
+    candidate_name: str
+    deltas: list[TimingDelta]
+    threshold: float
+
+    def regressions(self) -> list[TimingDelta]:
+        return [delta for delta in self.deltas if delta.regressed(self.threshold)]
+
+    @property
+    def ok(self) -> bool:
+        return not self.regressions()
+
+    def report(self) -> str:
+        lines = [
+            f"BENCH compare: {self.baseline_name} (baseline) vs "
+            f"{self.candidate_name} (candidate), threshold +{self.threshold:.0%}"
+        ]
+        for delta in self.deltas:
+            verdict = (
+                "REGRESSED"
+                if delta.regressed(self.threshold)
+                else ("improved" if delta.ratio < 1.0 else "ok")
+            )
+            lines.append(
+                f"  {delta.key:<22} {delta.baseline_s:>10.4f}s -> "
+                f"{delta.candidate_s:>10.4f}s  ({delta.ratio:5.2f}x)  {verdict}"
+            )
+        failed = self.regressions()
+        lines.append(
+            f"verdict: {'FAIL' if failed else 'PASS'}"
+            + (f" ({len(failed)} phase(s) regressed)" if failed else "")
+        )
+        return "\n".join(lines)
+
+
+def compare(
+    baseline: dict,
+    candidate: dict,
+    *,
+    threshold: float = 0.25,
+    keys: tuple[str, ...] = DEFAULT_KEYS,
+) -> BenchComparison:
+    """Compare the shared timing keys of two loaded BENCH payloads.
+
+    Only profiles with matching names are comparable — a smoke file
+    diffed against a default-profile file measures different workloads.
+    """
+    if baseline.get("name") != candidate.get("name"):
+        raise BenchFormatError(
+            f"profile mismatch: baseline is {baseline.get('name')!r}, "
+            f"candidate is {candidate.get('name')!r}"
+        )
+    base_timings = baseline["timings"]
+    cand_timings = candidate["timings"]
+    deltas = [
+        TimingDelta(key, float(base_timings[key]), float(cand_timings[key]))
+        for key in keys
+        if key in base_timings and key in cand_timings
+    ]
+    if not deltas:
+        raise BenchFormatError("no shared timing keys to compare")
+    return BenchComparison(
+        baseline_name=str(baseline.get("name")),
+        candidate_name=str(candidate.get("name")),
+        deltas=deltas,
+        threshold=threshold,
+    )
+
+
+def _env_line(payload: dict) -> str:
+    env = payload.get("env") or {}
+    return (
+        f"python {env.get('python', '?')} on {env.get('platform', '?')} "
+        f"({env.get('cpu_count', '?')} cores)"
+    )
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(
+        prog="python -m repro.obs.compare",
+        description="Diff two BENCH_*.json files; exit 1 on a wall-clock regression.",
+    )
+    parser.add_argument("baseline", type=Path, help="committed baseline BENCH file")
+    parser.add_argument("candidate", type=Path, help="freshly produced BENCH file")
+    parser.add_argument(
+        "--threshold", type=float, default=0.25,
+        help="allowed slowdown fraction before failing (default 0.25 = +25%%)",
+    )
+    parser.add_argument(
+        "--keys", nargs="+", default=list(DEFAULT_KEYS),
+        help="timing keys to enforce (default: the sweep/cache phases)",
+    )
+    args = parser.parse_args(argv)
+    try:
+        baseline = load_bench(args.baseline)
+        candidate = load_bench(args.candidate)
+        comparison = compare(
+            baseline, candidate,
+            threshold=args.threshold, keys=tuple(args.keys),
+        )
+    except BenchFormatError as error:
+        print(f"error: {error}", file=sys.stderr)
+        return 2
+    print(f"baseline env:  {_env_line(baseline)}")
+    print(f"candidate env: {_env_line(candidate)}")
+    print(comparison.report())
+    return 0 if comparison.ok else 1
+
+
+if __name__ == "__main__":  # pragma: no cover
+    sys.exit(main())

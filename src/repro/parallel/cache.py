@@ -33,6 +33,7 @@ from dataclasses import dataclass, fields
 
 from repro.bgp.engine import RouteState, RoutingEngine
 from repro.bgp.policy import PolicyConfig
+from repro.obs.metrics import NULL_METRICS, Metrics
 from repro.topology.view import RoutingView
 
 __all__ = ["CacheStats", "ConvergenceCache", "context_digest"]
@@ -110,14 +111,23 @@ class ConvergenceCache:
     each entry on every hit and raises if a cached baseline was mutated
     since insertion — cheap insurance for long-running services, off by
     default because :meth:`RouteState.freeze` already blocks in-place
-    writes.
+    writes. ``metrics`` mirrors hit/miss/insert/eviction counts into a
+    :class:`repro.obs.Metrics` sink (``cache.*`` counters) alongside the
+    always-on local :class:`CacheStats`.
     """
 
-    def __init__(self, capacity: int = 1024, *, verify: bool = False) -> None:
+    def __init__(
+        self,
+        capacity: int = 1024,
+        *,
+        verify: bool = False,
+        metrics: Metrics | None = None,
+    ) -> None:
         if capacity < 1:
             raise ValueError("capacity must be positive")
         self.capacity = capacity
         self.verify = verify
+        self.metrics = metrics if metrics is not None else NULL_METRICS
         self.stats = CacheStats()
         self._entries: OrderedDict[tuple[str, int], tuple[RouteState, str | None]] = (
             OrderedDict()
@@ -170,14 +180,18 @@ class ConvergenceCache:
                 )
             self._entries.move_to_end(key)
             self.stats.hits += 1
+            self.metrics.count("cache.hits")
             return state
         self.stats.misses += 1
+        self.metrics.count("cache.misses")
         state = engine.converge(origin).freeze()
         # The checksum is always recorded (one digest per distinct origin
         # is noise next to the convergence itself); ``verify`` only
         # controls whether every *hit* re-checks it.
         self._entries[key] = (state, state.checksum())
+        self.metrics.count("cache.inserts")
         while len(self._entries) > self.capacity:
             self._entries.popitem(last=False)
             self.stats.evictions += 1
+            self.metrics.count("cache.evictions")
         return state

@@ -27,7 +27,10 @@ from __future__ import annotations
 
 import multiprocessing
 import os
+import time
 from typing import TYPE_CHECKING, Sequence
+
+from repro.obs.metrics import NULL_METRICS, Metrics
 
 if TYPE_CHECKING:  # pragma: no cover - import cycle guard (lab imports us)
     from repro.attacks.lab import HijackLab
@@ -62,14 +65,28 @@ def resolve_workers(workers: int | None) -> int:
     return workers
 
 
-def _run_chunk(chunk: tuple[HijackScenario, ...]) -> list[AttackOutcome]:
+def _run_chunk(
+    chunk: tuple[HijackScenario, ...],
+) -> tuple[float, list[AttackOutcome]]:
+    """Execute one chunk in a worker; ships its busy time back with the
+    results so the parent can account for work done across the fork
+    boundary (worker-side metrics objects are copy-on-write copies whose
+    increments the parent never sees)."""
     lab = _WORKER_LAB
     assert lab is not None, "worker forked without a lab installed"
-    return [lab.run_scenario(scenario) for scenario in chunk]
+    start = time.perf_counter()
+    outcomes = [lab.run_scenario(scenario) for scenario in chunk]
+    return time.perf_counter() - start, outcomes
 
 
 class SweepExecutor:
-    """Runs scenario batches for one lab, in-process or across a pool."""
+    """Runs scenario batches for one lab, in-process or across a pool.
+
+    ``metrics`` (default: the lab's sink) receives ``executor.*``
+    counters and spans — tasks/chunks executed, per-chunk busy time,
+    mean task latency, and pool utilization (busy-time ÷ wall-clock ×
+    workers) for parallel runs.
+    """
 
     def __init__(
         self,
@@ -77,10 +94,14 @@ class SweepExecutor:
         *,
         workers: int | None = None,
         chunk_size: int | None = None,
+        metrics: Metrics | None = None,
     ) -> None:
         self.lab = lab
         self.workers = resolve_workers(workers)
         self.chunk_size = chunk_size
+        if metrics is None:
+            metrics = getattr(lab, "metrics", None)
+        self.metrics = metrics if metrics is not None else NULL_METRICS
 
     # -- internals ---------------------------------------------------------
 
@@ -128,27 +149,48 @@ class SweepExecutor:
 
     def run(self, scenarios: Sequence[HijackScenario]) -> list[AttackOutcome]:
         """Execute every scenario; results are returned in input order."""
+        metrics = self.metrics
         workers = min(self.workers, len(scenarios))
+        metrics.count("executor.runs")
+        metrics.count("executor.tasks", len(scenarios))
         if (
             workers <= 1
             or not fork_available()
             or len(scenarios) < _MIN_PARALLEL_SCENARIOS
         ):
-            return [self.lab.run_scenario(scenario) for scenario in scenarios]
+            metrics.gauge("executor.workers", 1)
+            with metrics.span("executor.run"):
+                return [self.lab.run_scenario(scenario) for scenario in scenarios]
 
         global _WORKER_LAB
-        self._prewarm(scenarios)
+        start = time.perf_counter()
+        with metrics.span("executor.prewarm"):
+            self._prewarm(scenarios)
         chunks = self._chunks(scenarios, workers)
         context = multiprocessing.get_context("fork")
         _WORKER_LAB = self.lab
+        busy_total = 0.0
         try:
             with context.Pool(processes=workers) as pool:
                 outcomes: list[AttackOutcome] = []
                 # imap (not imap_unordered) preserves submission order, and
                 # only `workers` chunks are in flight at a time, so peak
                 # memory stays bounded by outcomes + a few chunks.
-                for chunk_outcomes in pool.imap(_run_chunk, chunks):
+                for busy_s, chunk_outcomes in pool.imap(_run_chunk, chunks):
+                    busy_total += busy_s
+                    metrics.observe("executor.chunk", busy_s)
                     outcomes.extend(chunk_outcomes)
         finally:
             _WORKER_LAB = None
+        wall_s = time.perf_counter() - start
+        metrics.observe("executor.run", wall_s)
+        if metrics.enabled:
+            metrics.count("executor.chunks", len(chunks))
+            metrics.gauge("executor.workers", workers)
+            metrics.gauge("executor.task_latency_s", busy_total / len(scenarios))
+            if wall_s > 0:
+                metrics.gauge(
+                    "executor.utilization",
+                    min(1.0, busy_total / (wall_s * workers)),
+                )
         return outcomes

@@ -105,3 +105,24 @@ class TestCommands:
         # them), so plan against an in-process generated topology.
         assert main(["plan", "--region", "R00", "--as-count", "400"]) == 0
         assert "Self-interest action plan" in capsys.readouterr().out
+
+    def test_bench_writes_valid_bench_file(self, tmp_path, capsys):
+        from repro.obs.compare import load_bench
+
+        path = tmp_path / "BENCH_tiny.json"
+        assert main(["bench", "--profile", "tiny", "-o", str(path)]) == 0
+        output = capsys.readouterr().out
+        assert "bench profile: tiny" in output
+        assert "metrics overhead" in output
+        payload = load_bench(path)
+        assert payload["name"] == "tiny"
+        assert payload["derived"]["outcomes_consistent"] is True
+
+    def test_metrics_flag_writes_snapshot(self, topo_file, tmp_path, capsys):
+        metrics_path = tmp_path / "metrics.json"
+        assert main(["--metrics", str(metrics_path),
+                     "attack", "--target", "300", "--attacker", "30",
+                     "-i", str(topo_file)]) == 0
+        snapshot = json.loads(metrics_path.read_text())
+        assert snapshot["counters"]["engine.convergences"] >= 1
+        assert snapshot["counters"]["engine.routes_installed"] > 0

@@ -4,7 +4,6 @@ import pytest
 
 from repro.attacks.dataplane import Fate, dataplane_capture, trace_forwarding
 from repro.bgp.engine import RoutingEngine
-from repro.topology.view import RoutingView
 from repro.util.rng import make_rng
 
 

@@ -6,7 +6,6 @@ from repro.attacks.lab import HijackLab
 from repro.detection.analysis import DetectionStudy, greedy_probe_placement
 from repro.detection.detector import HijackDetector
 from repro.detection.probes import (
-    ProbeSet,
     bgpmon_like_probes,
     custom_probes,
     random_transit_probes,

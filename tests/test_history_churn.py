@@ -2,7 +2,6 @@
 
 import pytest
 
-from repro.attacks.lab import HijackLab
 from repro.core.churn import TransferEvent, sample_transfers, stale_history_study
 from repro.defense.strategies import custom_deployment
 from repro.prefixes.prefix import Prefix

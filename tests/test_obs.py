@@ -1,0 +1,272 @@
+"""Unit tests for the observability layer (repro.obs).
+
+Covers the Metrics sink itself, the instrumentation threaded through the
+engine/lab/cache hot paths, the BENCH_*.json schema produced by
+``run_bench`` (via the seconds-cheap ``tiny`` profile), and the
+``repro.obs.compare`` regression gate in both directions.
+"""
+
+import json
+
+import pytest
+
+from repro.attacks.lab import HijackLab
+from repro.obs import (
+    NULL_METRICS,
+    PROFILES,
+    SCHEMA,
+    Metrics,
+    NullMetrics,
+    SpanStats,
+    env_fingerprint,
+    run_bench,
+)
+from repro.obs.compare import (
+    BenchFormatError,
+    compare,
+    load_bench,
+    main as compare_main,
+)
+from repro.parallel.cache import ConvergenceCache
+
+
+class TestMetrics:
+    def test_count_accumulates(self):
+        metrics = Metrics()
+        metrics.count("engine.messages")
+        metrics.count("engine.messages", 41)
+        assert metrics.counters["engine.messages"] == 42
+
+    def test_gauge_overwrites(self):
+        metrics = Metrics()
+        metrics.gauge("executor.workers", 2)
+        metrics.gauge("executor.workers", 4)
+        assert metrics.gauges["executor.workers"] == 4
+
+    def test_observe_aggregates_span_stats(self):
+        metrics = Metrics()
+        for seconds in (0.5, 1.5, 1.0):
+            metrics.observe("phase", seconds)
+        stats = metrics.spans["phase"]
+        assert stats.count == 3
+        assert stats.total_s == pytest.approx(3.0)
+        assert stats.min_s == pytest.approx(0.5)
+        assert stats.max_s == pytest.approx(1.5)
+        assert stats.mean_s == pytest.approx(1.0)
+
+    def test_span_uses_injected_clock(self):
+        ticks = iter([10.0, 13.5])
+        metrics = Metrics(clock=lambda: next(ticks))
+        with metrics.span("work"):
+            pass
+        assert metrics.spans["work"].total_s == pytest.approx(3.5)
+
+    def test_span_records_on_exception(self):
+        ticks = iter([0.0, 1.0])
+        metrics = Metrics(clock=lambda: next(ticks))
+        with pytest.raises(RuntimeError):
+            with metrics.span("work"):
+                raise RuntimeError("boom")
+        assert metrics.spans["work"].count == 1
+
+    def test_snapshot_is_json_serializable_and_detached(self):
+        metrics = Metrics()
+        metrics.count("a")
+        metrics.gauge("b", 2.5)
+        metrics.observe("c", 0.1)
+        snapshot = metrics.snapshot()
+        json.dumps(snapshot)  # must not raise
+        snapshot["counters"]["a"] = 99
+        assert metrics.counters["a"] == 1
+
+    def test_empty_span_stats_as_dict(self):
+        stats = SpanStats()
+        assert stats.as_dict() == {
+            "count": 0, "total_s": 0.0, "mean_s": 0.0, "min_s": 0.0, "max_s": 0.0,
+        }
+
+    def test_write_json_and_clear(self, tmp_path):
+        metrics = Metrics()
+        metrics.count("x", 7)
+        path = metrics.write_json(tmp_path / "nested" / "metrics.json")
+        assert json.loads(path.read_text())["counters"]["x"] == 7
+        metrics.clear()
+        assert metrics.snapshot() == {"counters": {}, "gauges": {}, "spans": {}}
+
+
+class TestNullMetrics:
+    def test_records_nothing(self):
+        sink = NullMetrics()
+        sink.count("a")
+        sink.gauge("b", 1)
+        sink.observe("c", 0.5)
+        with sink.span("d"):
+            pass
+        assert sink.snapshot() == {"counters": {}, "gauges": {}, "spans": {}}
+
+    def test_shared_instance_is_disabled(self):
+        assert NULL_METRICS.enabled is False
+        assert Metrics().enabled is True
+
+
+class TestInstrumentation:
+    def test_engine_counters_through_lab(self, mini_graph):
+        metrics = Metrics()
+        lab = HijackLab(mini_graph, seed=1, metrics=metrics)
+        lab.origin_hijack(50, 60)
+        counters = metrics.counters
+        assert counters["engine.convergences"] >= 1
+        assert counters["engine.messages"] > 0
+        assert counters["engine.routes_installed"] > 0
+        assert counters["engine.convergence_rounds"] > 0
+
+    def test_lab_sweep_spans(self, mini_graph):
+        metrics = Metrics()
+        lab = HijackLab(mini_graph, seed=1, metrics=metrics)
+        lab.sweep_target(50, transit_only=True, seed=1)
+        assert metrics.counters["lab.sweeps"] == 1
+        assert metrics.spans["lab.sweep_target"].count == 1
+
+    def test_cache_counters_mirror_stats(self, mini_graph):
+        metrics = Metrics()
+        cache = ConvergenceCache(capacity=16, metrics=metrics)
+        lab = HijackLab(mini_graph, seed=1, cache=cache, metrics=metrics)
+        lab.random_attacks(6, seed=1)
+        lab.random_attacks(6, seed=1)
+        assert metrics.counters["cache.hits"] == cache.stats.hits
+        assert metrics.counters["cache.misses"] == cache.stats.misses
+        assert metrics.counters.get("cache.evictions", 0) == cache.stats.evictions
+
+    def test_default_lab_uses_null_sink(self, mini_graph):
+        lab = HijackLab(mini_graph, seed=1)
+        assert lab.metrics is NULL_METRICS
+        lab.origin_hijack(50, 60)  # must not record anywhere
+        assert NULL_METRICS.snapshot() == {"counters": {}, "gauges": {}, "spans": {}}
+
+
+class TestBench:
+    @pytest.fixture(scope="class")
+    def tiny_payload(self, tmp_path_factory):
+        path = tmp_path_factory.mktemp("bench") / "BENCH_tiny.json"
+        payload, written = run_bench("tiny", output=path)
+        assert written == path
+        return payload
+
+    def test_schema_snapshot(self, tiny_payload):
+        # The machine-readable contract docs/performance.md documents:
+        # adding a key is fine, but removing or renaming one must bump
+        # SCHEMA and this snapshot together.
+        assert tiny_payload["schema"] == SCHEMA == "repro-bench/1"
+        assert set(tiny_payload) == {
+            "schema", "name", "created", "config", "env",
+            "timings", "counters", "gauges", "spans", "speedups", "derived",
+        }
+        assert set(tiny_payload["timings"]) >= {
+            "topology_s", "sweep_sequential_s", "sweep_parallel_s",
+            "random_cold_s", "random_warm_s",
+            "overhead_off_s", "overhead_on_s", "total_s",
+        }
+        assert set(tiny_payload["speedups"]) == {"sweep_parallel", "cache_warm"}
+        assert set(tiny_payload["derived"]) == {
+            "metrics_overhead_fraction", "cache_cold_hit_rate",
+            "cache_warm_hit_rate", "outcomes_consistent",
+        }
+
+    def test_written_file_round_trips_through_load_bench(self, tmp_path):
+        payload, path = run_bench("tiny", output=tmp_path / "b.json")
+        assert load_bench(path)["name"] == "tiny"
+        assert json.loads(path.read_text()) == json.loads(
+            json.dumps(payload)
+        )
+
+    def test_config_records_resolved_workers(self, tiny_payload):
+        assert tiny_payload["config"]["workers_resolved"] >= 1
+        assert tiny_payload["config"]["as_count"] == PROFILES["tiny"].as_count
+
+    def test_outcomes_consistent(self, tiny_payload):
+        assert tiny_payload["derived"]["outcomes_consistent"] is True
+
+    def test_counters_present(self, tiny_payload):
+        assert tiny_payload["counters"]["engine.convergences"] > 0
+        assert tiny_payload["gauges"]["executor.workers"] >= 1
+
+    def test_unknown_profile_rejected(self):
+        with pytest.raises(ValueError, match="unknown bench profile"):
+            run_bench("nope")
+
+    def test_env_fingerprint_keys(self):
+        env = env_fingerprint()
+        assert set(env) == {
+            "python", "implementation", "platform", "machine", "cpu_count",
+        }
+        assert env["cpu_count"] >= 1
+
+
+def _payload(name="smoke", **timings):
+    base = {
+        "sweep_sequential_s": 1.0, "sweep_parallel_s": 0.5,
+        "random_cold_s": 2.0, "random_warm_s": 1.0, "total_s": 5.0,
+    }
+    base.update(timings)
+    return {"schema": SCHEMA, "name": name, "timings": base, "env": {}}
+
+
+class TestCompare:
+    def test_synthetic_slowdown_regresses(self):
+        baseline = _payload()
+        candidate = _payload(sweep_sequential_s=2.0)  # 2x slower
+        comparison = compare(baseline, candidate, threshold=0.25)
+        assert not comparison.ok
+        regressed = comparison.regressions()
+        assert [d.key for d in regressed] == ["sweep_sequential_s"]
+        assert regressed[0].ratio == pytest.approx(2.0)
+        assert "REGRESSED" in comparison.report()
+
+    def test_speedup_and_within_threshold_pass(self):
+        faster = compare(_payload(), _payload(sweep_parallel_s=0.25))
+        assert faster.ok
+        mild = compare(_payload(), _payload(random_cold_s=2.4))  # +20% < 25%
+        assert mild.ok
+
+    def test_total_s_not_enforced(self):
+        comparison = compare(_payload(), _payload(total_s=50.0))
+        assert comparison.ok
+
+    def test_profile_mismatch_rejected(self):
+        with pytest.raises(BenchFormatError, match="profile mismatch"):
+            compare(_payload(name="smoke"), _payload(name="default"))
+
+    def test_load_bench_rejects_wrong_schema(self, tmp_path):
+        bad = tmp_path / "bad.json"
+        bad.write_text(json.dumps({"schema": "other/1", "timings": {}}))
+        with pytest.raises(BenchFormatError):
+            load_bench(bad)
+        missing = tmp_path / "missing.json"
+        with pytest.raises(BenchFormatError):
+            load_bench(missing)
+
+    def _write(self, tmp_path, name, payload):
+        path = tmp_path / name
+        path.write_text(json.dumps(payload))
+        return str(path)
+
+    def test_cli_exit_codes(self, tmp_path, capsys):
+        base = self._write(tmp_path, "base.json", _payload())
+        slow = self._write(
+            tmp_path, "slow.json",
+            _payload(sweep_sequential_s=2.0, random_warm_s=2.0),
+        )
+        fast = self._write(tmp_path, "fast.json", _payload(random_cold_s=1.0))
+        assert compare_main([base, fast]) == 0
+        assert "PASS" in capsys.readouterr().out
+        assert compare_main([base, slow]) == 1
+        assert "FAIL" in capsys.readouterr().out
+        assert compare_main([base, slow, "--threshold", "1.5"]) == 0
+        capsys.readouterr()
+
+    def test_cli_format_error_exit_2(self, tmp_path, capsys):
+        bad = tmp_path / "bad.json"
+        bad.write_text("{not json")
+        base = self._write(tmp_path, "base.json", _payload())
+        assert compare_main([base, str(bad)]) == 2
+        assert "error:" in capsys.readouterr().err
