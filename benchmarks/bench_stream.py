@@ -1,0 +1,60 @@
+"""BENCH-STREAM — event streaming: incremental vs full re-convergence.
+
+Not a paper figure: this benchmark tracks the streaming subsystem's
+headline claim (see ``docs/streaming.md``) — applying K announce/withdraw
+events to a live :class:`~repro.stream.incremental.PrefixLedger` costs
+far less than K cold chain convergences — plus the replay engine's
+end-to-end throughput and the online monitor's detection latency.
+
+It runs :func:`repro.obs.bench.run_stream_bench` once (the same routine
+behind ``repro-bgp bench --suite stream``, profile picked by
+``REPRO_BENCH_STREAM_PROFILE``), writes the schema-versioned
+``BENCH_stream.json`` under ``results/`` for the bench-smoke CI gate's
+compare differ, and asserts:
+
+* the untimed shadow pass found every per-event checksum identical to
+  the cold reference (the correctness side of the speed claim);
+* the incremental path actually beats full re-convergence — with the
+  ISSUE's ≥3× bar enforced at default (4,270-AS) scale, where the O(N)
+  convergence cost dwarfs per-event bookkeeping.
+"""
+
+from __future__ import annotations
+
+from benchmarks.conftest import RESULTS_DIR, STREAM_PROFILE
+
+from repro.obs.bench import STREAM_PROFILES, run_stream_bench
+from repro.util.tables import render_table
+
+
+def test_stream_bench(benchmark, bench_metrics):
+    payload, path = benchmark.pedantic(
+        run_stream_bench,
+        args=(STREAM_PROFILE,),
+        kwargs={
+            "output": RESULTS_DIR / "BENCH_stream.json",
+            "metrics": bench_metrics,
+        },
+        rounds=1,
+        iterations=1,
+    )
+    timings = payload["timings"]
+    derived = payload["derived"]
+    speedup = payload["speedups"]["stream_incremental"]
+
+    rows = [(key, round(value, 4)) for key, value in sorted(timings.items())]
+    rows += [
+        ("incremental speedup", f"{speedup:.2f}x"),
+        ("events/s (replay)", round(derived["events_per_s"], 1)),
+        ("alarms", derived["alarms"]),
+        ("detection latency (virtual s)", derived["detection_latency_time"]),
+    ]
+    print()
+    print(render_table(("phase", "value"), rows,
+                       title=f"BENCH-STREAM profile: {STREAM_PROFILE} → {path}"))
+
+    assert derived["checksums_consistent"] is True
+    assert speedup > 1.0
+    if STREAM_PROFILES[STREAM_PROFILE].as_count >= 4000:
+        # The ISSUE 4 acceptance bar, meaningful only at full scale.
+        assert speedup >= 3.0

@@ -29,7 +29,7 @@ incumbent, exactly the paper's announce-only RIB model.
 from __future__ import annotations
 
 import hashlib
-from dataclasses import dataclass
+from dataclasses import dataclass, field
 from typing import Collection, Iterable, MutableSequence, Sequence
 
 from repro.bgp.policy import PolicyConfig, prefers
@@ -37,7 +37,7 @@ from repro.obs.metrics import NULL_METRICS, Metrics
 from repro.topology.relationships import RouteClass
 from repro.topology.view import RoutingView
 
-__all__ = ["RouteState", "RoutingEngine", "UNREACHABLE"]
+__all__ = ["ConvergenceDelta", "RouteState", "RoutingEngine", "UNREACHABLE"]
 
 UNREACHABLE = 1 << 30
 _NO_CLASS = 9  # worse than every RouteClass value
@@ -207,18 +207,107 @@ class RoutingEngine:
         ``filter_first_hop_providers`` the origin's providers drop its
         direct announcement — the defensive stub filter of Section IV.
         """
-        view = self.view
-        n = len(view)
+        n = len(self.view)
         state = base.copy_for(origin) if base is not None else RouteState.empty(n, origin)
+        blocked_set = frozenset(blocked)
+        self._propagate(
+            state,
+            origin,
+            blocked_set,
+            filter_first_hop_providers,
+            journal=None,
+        )
+        if self.validate:
+            # Imported lazily: the oracle package imports this module.
+            from repro.oracle.invariants import check_route_state
+
+            check_route_state(
+                self.view,
+                state,
+                policy=self.policy,
+                blocked=blocked_set,
+                first_hop_filtered=filter_first_hop_providers,
+            )
+        return state
+
+    def converge_delta(
+        self,
+        state: RouteState,
+        origin: int,
+        *,
+        blocked: Collection[int] = (),
+        filter_first_hop_providers: bool = False,
+    ) -> "ConvergenceDelta":
+        """Apply *origin*'s announcement to *state* in place — the
+        frontier re-propagation hook behind :mod:`repro.stream`.
+
+        The announcement re-propagates from *origin* only where it
+        strictly beats the entries already installed in *state*, so the
+        install sequence — and hence the final arrays — is identical to
+        ``converge(origin, base=state)``, but without the O(N) base copy.
+        Every overwritten cell is recorded in the returned
+        :class:`ConvergenceDelta`'s undo journal, so the caller can
+        rewind the announcement exactly (:meth:`ConvergenceDelta.revert`)
+        — which is what makes event-stream withdrawals cheap.
+
+        *state* must be mutable (not :meth:`~RouteState.frozen
+        <RouteState.freeze>`) and is mutated directly; its ``origin``
+        field is updated to *origin* (the previous value is kept in the
+        delta for the rewind).
+
+        Unlike :meth:`converge`, this path never runs the invariant
+        suite itself even with ``validate=True``: a state stacked from
+        several announcements with *different* blocked sets cannot be
+        described by one pass's parameters. The stream ledger validates
+        instead, passing the full announcement ``history`` to
+        :func:`repro.oracle.invariants.check_route_state`.
+        """
+        if state.is_frozen:
+            raise ValueError("converge_delta needs a mutable state; unfreeze or copy it")
+        journal: list[tuple[int, int, int, int, int]] = []
+        prev_origin = state.origin
+        state.origin = origin
+        blocked_set = frozenset(blocked)
+        self._propagate(
+            state, origin, blocked_set, filter_first_hop_providers, journal=journal
+        )
+        return ConvergenceDelta(
+            origin=origin,
+            prev_origin=prev_origin,
+            blocked=blocked_set,
+            first_hop_filtered=filter_first_hop_providers,
+            journal=journal,
+        )
+
+    def _propagate(
+        self,
+        state: RouteState,
+        origin: int,
+        blocked_set: frozenset[int],
+        filter_first_hop_providers: bool,
+        journal: list[tuple[int, int, int, int, int]] | None,
+    ) -> None:
+        """The shared bucket-queue propagation kernel.
+
+        Mutates *state* in place. When *journal* is given, every install
+        appends the overwritten ``(node, cls, length, parent, origin_of)``
+        cells (pre-install values) so the pass can be reverted; the batch
+        path passes ``None`` and pays only one ``is not None`` test per
+        install.
+        """
+        view = self.view
         cls = state.cls
         length = state.length
         parent = state.parent
         origin_of = state.origin_of
         is_tier1 = view.is_tier1
         tier1_shortest = self.policy.tier1_shortest_path
-        blocked_set = frozenset(blocked)
 
         # The origin installs its own route unconditionally.
+        if journal is not None:
+            journal.append(
+                (origin, cls[origin], length[origin], parent[origin], origin_of[origin])
+            )
         cls[origin] = _CLASS_ORIGIN
         length[origin] = 0
         parent[origin] = -1
@@ -281,6 +370,11 @@ class RoutingEngine:
                         installs += 1
                         if current_class != _NO_CLASS:
                             replaced += 1
+                        if journal is not None:
+                            journal.append(
+                                (node, current_class, length[node],
+                                 parent[node], origin_of[node])
+                            )
                         cls[node] = route_class
                         length[node] = route_length
                         parent[node] = sender
@@ -302,18 +396,6 @@ class RoutingEngine:
             metrics.count("engine.routes_installed", installs)
             metrics.count("engine.routes_replaced", replaced)
             metrics.count("engine.convergence_rounds", len(buckets))
-        if self.validate:
-            # Imported lazily: the oracle package imports this module.
-            from repro.oracle.invariants import check_route_state
-
-            check_route_state(
-                view,
-                state,
-                policy=self.policy,
-                blocked=blocked_set,
-                first_hop_filtered=filter_first_hop_providers,
-            )
-        return state
 
     def hijack(
         self,
@@ -350,6 +432,47 @@ class RoutingEngine:
             legitimate=legitimate,
             final=final,
         )
+
+
+@dataclass
+class ConvergenceDelta:
+    """The reversible record of one in-place announcement pass.
+
+    Produced by :meth:`RoutingEngine.converge_delta`. ``journal`` holds
+    the pre-install ``(node, cls, length, parent, origin_of)`` cells in
+    install order — a node can appear more than once when an early
+    candidate is later displaced within the same pass, which is why
+    :meth:`revert` replays the journal *backwards*. ``blocked`` and
+    ``first_hop_filtered`` are the pass parameters captured at announce
+    time; an exact re-application (after rewinding past this entry) must
+    reuse them, not the current defense state.
+    """
+
+    origin: int
+    prev_origin: int
+    blocked: frozenset[int]
+    first_hop_filtered: bool
+    journal: list[tuple[int, int, int, int, int]] = field(repr=False)
+
+    @property
+    def touched(self) -> int:
+        """Install count of the pass (journal length; ≥ 1 for the origin)."""
+        return len(self.journal)
+
+    def revert(self, state: RouteState) -> None:
+        """Rewind the pass, restoring *state* to its exact prior content."""
+        if state.is_frozen:
+            raise ValueError("cannot revert into a frozen state")
+        cls = state.cls
+        length = state.length
+        parent = state.parent
+        origin_of = state.origin_of
+        for node, old_cls, old_length, old_parent, old_origin in reversed(self.journal):
+            cls[node] = old_cls
+            length[node] = old_length
+            parent[node] = old_parent
+            origin_of[node] = old_origin
+        state.origin = self.prev_origin
 
 
 @dataclass

@@ -11,7 +11,12 @@ Subcommands cover the everyday workflows:
 * ``validate``  — run the differential oracle + invariant suite
   (engine vs the slow reference simulator; see docs/testing.md)
 * ``bench``     — run a scale-knobbed benchmark profile and write a
-  machine-readable ``BENCH_<name>.json`` (see docs/performance.md)
+  machine-readable ``BENCH_<name>.json`` (see docs/performance.md);
+  ``--suite stream`` benchmarks the event-streaming subsystem instead
+* ``stream``    — replay a JSONL event stream (or compile one from
+  random hijack scenarios) through the incremental-convergence engine
+  and the online hijack monitor, emitting a JSON report
+  (see docs/streaming.md)
 
 The global ``--metrics <path>`` flag arms the :mod:`repro.obs` metrics
 layer for any subcommand and writes its JSON snapshot (counters, gauges,
@@ -30,7 +35,7 @@ from repro.core.vulnerability import profile_target
 from repro.experiments.config import ExperimentConfig
 from repro.experiments.store import ResultStore
 from repro.experiments.suite import ExperimentSuite
-from repro.obs.bench import PROFILES, run_bench
+from repro.obs.bench import PROFILES, run_bench, run_stream_bench
 from repro.obs.metrics import NULL_METRICS, Metrics
 from repro.topology.caida import dump_caida, load_caida
 from repro.topology.classify import summarize
@@ -131,11 +136,45 @@ def build_parser() -> argparse.ArgumentParser:
     )
     bench.add_argument("--profile", choices=sorted(PROFILES), default="smoke")
     bench.add_argument(
+        "--suite", choices=("core", "stream"), default="core",
+        help="core: sweep/cache/overhead benchmark; stream: event-streaming benchmark",
+    )
+    bench.add_argument(
         "-o", "--output", type=Path, default=None,
         help="output path (default: BENCH_<profile>.json in the current directory)",
     )
     bench.add_argument("--workers", type=int, default=None,
                        help="override the profile's pool size (0 = all cores)")
+
+    stream_cmd = subparsers.add_parser(
+        "stream",
+        help="replay a JSONL event stream through the online hijack monitor",
+    )
+    stream_cmd.add_argument("-i", "--input", type=Path,
+                            help="JSONL event stream (default: compile a campaign)")
+    stream_cmd.add_argument("--attacks", type=int, default=5,
+                            help="scenarios to compile when no input is given")
+    stream_cmd.add_argument("--as-count", type=int, default=4270)
+    stream_cmd.add_argument("--topology", type=Path, default=None,
+                            help="CAIDA-format topology file "
+                                 "(default: generate --as-count ASes)")
+    stream_cmd.add_argument("--probes",
+                            choices=("tier1", "bgpmon", "top-degree"),
+                            default="tier1", help="monitor vantage-point set")
+    stream_cmd.add_argument("--batch-window", type=float, default=0.0,
+                            help="coalescing window in virtual seconds")
+    stream_cmd.add_argument("--queue-limit", type=int, default=64,
+                            help="pending events before a backpressure flush")
+    stream_cmd.add_argument("--publish-roas", action="store_true",
+                            help="publish every target's ROA at stream start")
+    stream_cmd.add_argument("--dwell", type=float, default=None,
+                            help="withdraw each bogus announcement after this long")
+    stream_cmd.add_argument("--compile-only", type=Path, metavar="PATH",
+                            help="write the compiled stream as JSONL and exit")
+    stream_cmd.add_argument("--report", type=Path, default=None,
+                            help="write the JSON report here (default: stdout)")
+    stream_cmd.add_argument("--validate", action="store_true",
+                            help="run the invariant checker on every convergence")
 
     report = subparsers.add_parser(
         "report", help="run every experiment and write EXPERIMENTS.md"
@@ -345,6 +384,8 @@ def _cmd_bench(args: argparse.Namespace) -> int:
     # the same; otherwise the bench records into its own private sink
     # (the BENCH file carries the snapshot either way).
     sink = _metrics(args)
+    if args.suite == "stream":
+        return _bench_stream(args, sink)
     payload, path = run_bench(
         args.profile,
         output=args.output,
@@ -368,6 +409,124 @@ def _cmd_bench(args: argparse.Namespace) -> int:
         print("ERROR: parallel sweep outcomes diverged from sequential", file=sys.stderr)
         return 1
     print(f"wrote {path}")
+    return 0
+
+
+def _bench_stream(args: argparse.Namespace, sink: Metrics) -> int:
+    payload, path = run_stream_bench(
+        args.profile,
+        output=args.output,
+        metrics=sink if sink.enabled else None,
+    )
+    timings = payload["timings"]
+    derived = payload["derived"]
+    rows = [(key, round(value, 4)) for key, value in sorted(timings.items())]
+    print(render_table(
+        ("phase", "seconds"), rows, title=f"stream bench profile: {args.profile}"
+    ))
+    print(
+        f"incremental vs full re-convergence: "
+        f"{payload['speedups']['stream_incremental']:.2f}x over "
+        f"{derived['events']} events"
+    )
+    print(f"replay throughput: {derived['events_per_s']:.0f} events/s, "
+          f"{derived['alarms']} alarm(s), "
+          f"detection latency {derived['detection_latency_time']} (virtual s)")
+    if not derived["checksums_consistent"]:
+        print("ERROR: incremental states diverged from full re-convergence",
+              file=sys.stderr)
+        return 1
+    print(f"wrote {path}")
+    return 0
+
+
+def _cmd_stream(args: argparse.Namespace) -> int:
+    import json
+
+    from repro.attacks.scenario import HijackScenario
+    from repro.detection.detector import HijackDetector
+    from repro.detection.probes import (
+        bgpmon_like_probes,
+        tier1_probes,
+        top_degree_probes,
+    )
+    from repro.stream import (
+        OnlineMonitor,
+        StreamReplayer,
+        compile_campaign,
+        read_events,
+        write_events,
+    )
+    from repro.util.rng import make_rng
+
+    # ``-i`` is the *event stream* here (unlike the batch commands, where
+    # it is the topology file) — the topology comes from ``--topology``.
+    if args.topology is not None:
+        graph = load_caida(args.topology)
+    else:
+        graph = generate_topology(
+            GeneratorConfig.scaled(args.as_count, seed=args.seed)
+        )
+    metrics = _metrics(args)
+    lab = HijackLab(graph, seed=args.seed, validate=args.validate, metrics=metrics)
+    if args.input is not None:
+        events = read_events(args.input)
+    else:
+        rng = make_rng(args.seed, "cli-stream")
+        pool = lab.attacker_pool()
+        scenarios: list[HijackScenario] = []
+        while len(scenarios) < args.attacks:
+            target_asn, attacker_asn = rng.sample(pool, 2)
+            if lab.view.node_of(target_asn) == lab.view.node_of(attacker_asn):
+                continue
+            scenarios.append(
+                HijackScenario(
+                    target_asn=target_asn,
+                    attacker_asn=attacker_asn,
+                    prefix=lab.plan.primary_prefix(target_asn),
+                )
+            )
+        events = compile_campaign(
+            scenarios, publish_roas=args.publish_roas, dwell=args.dwell
+        )
+    if args.compile_only is not None:
+        path = write_events(args.compile_only, events)
+        print(f"wrote {len(events)} events to {path}")
+        return 0
+    probe_sets = {
+        "tier1": tier1_probes,
+        "bgpmon": bgpmon_like_probes,
+        "top-degree": top_degree_probes,
+    }
+    probes = probe_sets[args.probes](graph)
+    replayer = StreamReplayer(
+        lab,
+        batch_window=args.batch_window,
+        queue_limit=args.queue_limit,
+        metrics=metrics,
+    )
+    detector = HijackDetector(probes, authority=replayer.authority)
+    replayer.monitor = OnlineMonitor(lab.view, detector, metrics=metrics)
+    report = replayer.run(events)
+    payload = report.as_dict()
+    text = json.dumps(payload, indent=2, sort_keys=True)
+    if args.report is not None:
+        args.report.parent.mkdir(parents=True, exist_ok=True)
+        args.report.write_text(text + "\n", encoding="utf-8")
+        print(f"wrote {args.report}")
+    else:
+        print(text)
+    monitor = report.monitor
+    assert monitor is not None
+    latency = monitor.detection_latency_time
+    print(
+        f"replayed {report.events_submitted} events "
+        f"({report.events_coalesced} coalesced, {report.events_malformed} "
+        f"malformed, {len(report.errors)} errors) over {len(report.prefixes)} "
+        f"prefix(es); {len(monitor.alarms)} alarm(s)"
+        + (f", first at latency {latency} virtual s" if latency is not None else ""),
+        file=sys.stderr,
+    )
     return 0
 
 
@@ -412,6 +571,7 @@ _HANDLERS = {
     "calibrate": _cmd_calibrate,
     "validate": _cmd_validate,
     "bench": _cmd_bench,
+    "stream": _cmd_stream,
     "report": _cmd_report,
 }
 

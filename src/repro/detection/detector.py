@@ -15,7 +15,9 @@ from __future__ import annotations
 from dataclasses import dataclass
 
 from repro.attacks.scenario import AttackOutcome
+from repro.detection.moas import MoasReport, MoasVerdict, classify_moas
 from repro.detection.probes import ProbeSet
+from repro.prefixes.prefix import Prefix
 from repro.registry.roa import OriginAuthority, ValidationState
 
 __all__ = ["DetectionReport", "HijackDetector"]
@@ -76,3 +78,42 @@ class HijackDetector:
             triggered_probes=triggered,
             classified_bogus=classified,
         )
+
+    def observe_conflict(
+        self, prefix: Prefix, origins: tuple[int, ...] | list[int]
+    ) -> MoasReport | None:
+        """Judge the origin set currently observed for *prefix* — the
+        event-by-event entry point.
+
+        :meth:`observe` is batch-shaped: it needs a finished
+        :class:`~repro.attacks.scenario.AttackOutcome`. A live monitor has
+        no outcomes, only the origins its probes see for a prefix *right
+        now*; call this after every update that changes that set.
+
+        * two or more origins — a MOAS conflict, judged by
+          :func:`~repro.detection.moas.classify_moas` against this
+          detector's published origin data;
+        * exactly one origin that the published data marks INVALID — a
+          hijack with no visible conflict (the sub-prefix case: the bogus
+          more-specific is the only announcement for its NLRI), reported
+          as a single-origin :class:`~repro.detection.moas.MoasReport`;
+        * anything else — ``None``: nothing to judge, no alarm.
+
+        Returns the report (check ``report.alarm``), or ``None``.
+        """
+        unique = tuple(sorted(set(origins)))
+        if not unique:
+            return None
+        if len(unique) == 1:
+            if self.authority is None:
+                return None
+            verdict = self.authority.validate(prefix, unique[0])
+            if verdict is not ValidationState.INVALID:
+                return None
+            return MoasReport(
+                prefix=prefix,
+                origins=unique,
+                verdict=MoasVerdict.HIJACK,
+                invalid_origins=unique,
+            )
+        return classify_moas(self.authority, prefix, unique)

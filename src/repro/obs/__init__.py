@@ -13,7 +13,16 @@ A zero-dependency layer threaded through the simulation hot paths:
 See ``docs/performance.md`` for the BENCH schema and the CI gate.
 """
 
-from repro.obs.bench import PROFILES, SCHEMA, BenchProfile, env_fingerprint, run_bench
+from repro.obs.bench import (
+    PROFILES,
+    SCHEMA,
+    STREAM_PROFILES,
+    BenchProfile,
+    StreamBenchProfile,
+    env_fingerprint,
+    run_bench,
+    run_stream_bench,
+)
 from repro.obs.metrics import NULL_METRICS, Metrics, NullMetrics, SpanStats
 
 # The compare symbols are re-exported lazily: eagerly importing the
@@ -40,9 +49,12 @@ __all__ = [
     "NullMetrics",
     "PROFILES",
     "SCHEMA",
+    "STREAM_PROFILES",
     "SpanStats",
+    "StreamBenchProfile",
     "TimingDelta",
     "env_fingerprint",
     "load_bench",
     "run_bench",
+    "run_stream_bench",
 ]

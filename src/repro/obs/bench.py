@@ -32,7 +32,16 @@ from typing import Mapping
 
 from repro.obs.metrics import NULL_METRICS, Metrics
 
-__all__ = ["BenchProfile", "PROFILES", "SCHEMA", "env_fingerprint", "run_bench"]
+__all__ = [
+    "BenchProfile",
+    "PROFILES",
+    "SCHEMA",
+    "STREAM_PROFILES",
+    "StreamBenchProfile",
+    "env_fingerprint",
+    "run_bench",
+    "run_stream_bench",
+]
 
 SCHEMA = "repro-bench/1"
 
@@ -250,6 +259,228 @@ def run_bench(
         },
     }
     path = Path(output) if output is not None else Path(f"BENCH_{profile.name}.json")
+    path.parent.mkdir(parents=True, exist_ok=True)
+    path.write_text(json.dumps(payload, indent=2, sort_keys=True), encoding="utf-8")
+    return payload, path
+
+
+@dataclass(frozen=True)
+class StreamBenchProfile:
+    """Scale knobs for ``repro-bgp bench --suite stream``.
+
+    The workload is one prefix under churn: the legitimate origin
+    announces, then a rotating pool of *attackers* announces and
+    withdraws bogus routes, stacking the ledger several announcements
+    deep. That shape makes the full-reconvergence baseline pay the whole
+    chain per event while the incremental path pays one delta — the
+    contrast the headline speedup quantifies.
+    """
+
+    name: str
+    as_count: int
+    events: int
+    attackers: int = 12
+    withdraw_fraction: float = 0.35
+    campaign_attacks: int = 5
+    batch_window: float = 0.5
+    queue_limit: int = 64
+    seed: int = 2014
+
+
+# tiny: seconds-cheap, used by the unit tests; smoke: the per-PR CI gate
+# and the acceptance benchmark (50 events on the default 4,270-AS
+# topology); default: the longer local trajectory run.
+STREAM_PROFILES: Mapping[str, StreamBenchProfile] = {
+    "tiny": StreamBenchProfile(
+        "tiny", as_count=300, events=20, attackers=6, campaign_attacks=3
+    ),
+    "smoke": StreamBenchProfile("smoke", as_count=4270, events=50),
+    "default": StreamBenchProfile(
+        "default", as_count=4270, events=200, attackers=24, campaign_attacks=12
+    ),
+}
+
+
+def run_stream_bench(
+    profile: StreamBenchProfile | str,
+    *,
+    output: str | Path | None = None,
+    metrics: Metrics | None = None,
+) -> tuple[dict[str, object], Path]:
+    """Benchmark the stream subsystem and write ``BENCH_stream.json``.
+
+    Three timed phases over the same event plan:
+
+    * ``stream_incremental_s`` — every event applied to one live
+      :class:`~repro.stream.incremental.PrefixLedger` (the product path);
+    * ``stream_full_s`` — after every event, the whole active chain
+      re-converged cold via :func:`~repro.stream.incremental
+      .full_converge` (the K-full-reconvergences baseline the paper-scale
+      deployment cannot afford); checksums are compared event-by-event
+      and reported as ``derived.checksums_consistent``;
+    * ``stream_replay_s`` — a compiled multi-attack campaign replayed
+      through the full :class:`~repro.stream.replay.StreamReplayer` +
+      :class:`~repro.stream.monitor.OnlineMonitor` stack (events/sec and
+      detection latency in ``derived``).
+    """
+    from repro.attacks.lab import HijackLab
+    from repro.attacks.scenario import HijackScenario
+    from repro.detection.detector import HijackDetector
+    from repro.detection.probes import top_degree_probes
+    from repro.stream.events import compile_campaign
+    from repro.stream.incremental import AnnounceEntry, PrefixLedger, full_converge
+    from repro.stream.monitor import OnlineMonitor
+    from repro.stream.replay import StreamReplayer
+    from repro.topology.generator import GeneratorConfig, generate_topology
+    from repro.util.rng import make_rng
+
+    if isinstance(profile, str):
+        try:
+            profile = STREAM_PROFILES[profile]
+        except KeyError:
+            raise ValueError(
+                f"unknown stream bench profile {profile!r}; "
+                f"choices: {sorted(STREAM_PROFILES)}"
+            ) from None
+    metrics = metrics if metrics is not None else Metrics()
+    timings: dict[str, float] = {}
+    bench_start = time.perf_counter()
+
+    def timed(key: str):
+        return _PhaseTimer(key, timings, metrics)
+
+    with timed("topology_s"):
+        graph = generate_topology(
+            GeneratorConfig.scaled(profile.as_count, seed=profile.seed)
+        )
+    lab = HijackLab(graph, seed=profile.seed, metrics=metrics)
+    view = lab.view
+    rng = make_rng(profile.seed, "stream-bench")
+    pool = lab.attacker_pool(transit_only=True)
+    target_asn = pool[3]
+    target_node = view.node_of(target_asn)
+    attacker_nodes = []
+    for asn in rng.sample(pool, min(profile.attackers + 1, len(pool))):
+        node = view.node_of(asn)
+        if node != target_node and node not in attacker_nodes:
+            attacker_nodes.append(node)
+    attacker_nodes = attacker_nodes[: profile.attackers]
+
+    # One deterministic event plan, shared by both timed phases: the
+    # legitimate origin stays announced, attackers churn on top of it.
+    ops: list[tuple[str, int]] = [("announce", target_node)]
+    active: list[int] = []
+    while len(ops) < profile.events:
+        idle = [node for node in attacker_nodes if node not in active]
+        if active and (not idle or rng.random() < profile.withdraw_fraction):
+            node = rng.choice(active)
+            ops.append(("withdraw", node))
+            active.remove(node)
+        else:
+            node = rng.choice(idle)
+            ops.append(("announce", node))
+            active.append(node)
+
+    # Timed product path: apply only — a live stream never hashes its
+    # whole state per event, so neither does the timed loop.
+    ledger = PrefixLedger(lab.engine, metrics=metrics)
+    with timed("stream_incremental_s"):
+        for op, node in ops:
+            if op == "announce":
+                ledger.announce(node)
+            else:
+                ledger.withdraw(node)
+
+    chain: list[AnnounceEntry] = []
+    full_states = []
+    with timed("stream_full_s"):
+        for op, node in ops:
+            if op == "announce":
+                chain.append(AnnounceEntry(origin=node, origin_asn=view.asn_of(node)))
+            else:
+                chain = [entry for entry in chain if entry.origin != node]
+            full_states.append(full_converge(lab.engine, chain))
+
+    # Untimed consistency pass: replay the same plan on a fresh ledger,
+    # hashing after every event against the stored cold states.
+    shadow = PrefixLedger(lab.engine)
+    checksums_consistent = True
+    for (op, node), full_state in zip(ops, full_states):
+        if op == "announce":
+            shadow.announce(node)
+        else:
+            shadow.withdraw(node)
+        full_checksum = full_state.checksum() if full_state is not None else None
+        if shadow.checksum() != full_checksum:
+            checksums_consistent = False
+            break
+    checksums_consistent = checksums_consistent and (
+        ledger.checksum() == shadow.checksum()
+    )
+    del full_states
+
+    # -- full replay + online monitor over a compiled campaign ------------
+    scenarios = []
+    for attacker_asn in rng.sample(pool, len(pool))[: profile.campaign_attacks * 3]:
+        if view.node_of(attacker_asn) == target_node:
+            continue
+        scenarios.append(
+            HijackScenario(
+                target_asn=target_asn,
+                attacker_asn=attacker_asn,
+                prefix=lab.plan.primary_prefix(target_asn),
+            )
+        )
+        if len(scenarios) == profile.campaign_attacks:
+            break
+    campaign = compile_campaign(
+        scenarios, publish_roas=True, dwell=5.0, stagger=2.0
+    )
+    replayer = StreamReplayer(
+        lab,
+        batch_window=profile.batch_window,
+        queue_limit=profile.queue_limit,
+        metrics=metrics,
+    )
+    detector = HijackDetector(
+        top_degree_probes(graph), authority=replayer.authority
+    )
+    replayer.monitor = OnlineMonitor(view, detector, metrics=metrics)
+    with timed("stream_replay_s"):
+        replay_report = replayer.run(campaign)
+    monitor_report = replay_report.monitor
+    assert monitor_report is not None
+
+    timings["total_s"] = time.perf_counter() - bench_start
+    snapshot = metrics.snapshot()
+    payload: dict[str, object] = {
+        "schema": SCHEMA,
+        "name": f"stream-{profile.name}",
+        "created": time.strftime("%Y-%m-%dT%H:%M:%SZ", time.gmtime()),
+        "config": asdict(profile),
+        "env": env_fingerprint(),
+        "timings": timings,
+        "counters": snapshot["counters"],
+        "gauges": snapshot["gauges"],
+        "spans": snapshot["spans"],
+        "speedups": {
+            "stream_incremental": timings["stream_full_s"]
+            / max(timings["stream_incremental_s"], 1e-9),
+        },
+        "derived": {
+            "events": profile.events,
+            "checksums_consistent": checksums_consistent,
+            "events_per_s": replay_report.events_submitted
+            / max(timings["stream_replay_s"], 1e-9),
+            "replay_events_submitted": replay_report.events_submitted,
+            "replay_events_coalesced": replay_report.events_coalesced,
+            "replay_flushes": replay_report.flushes,
+            "alarms": len(monitor_report.alarms),
+            "detection_latency_time": monitor_report.detection_latency_time,
+            "detection_latency_events": monitor_report.detection_latency_events,
+        },
+    }
+    path = Path(output) if output is not None else Path("BENCH_stream.json")
     path.parent.mkdir(parents=True, exist_ok=True)
     path.write_text(json.dumps(payload, indent=2, sort_keys=True), encoding="utf-8")
     return payload, path

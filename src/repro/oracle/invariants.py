@@ -36,7 +36,7 @@ boolean per convergence — nothing in the hot loops changes.
 
 from __future__ import annotations
 
-from typing import TYPE_CHECKING, Collection
+from typing import TYPE_CHECKING, Collection, Sequence
 
 from repro.bgp.engine import UNREACHABLE, RouteState
 from repro.bgp.policy import PolicyConfig, prefers
@@ -181,16 +181,16 @@ def _check_valley_free(
             )
 
 
+_EMPTY: frozenset[int] = frozenset()
+
+
 def _check_stability(
     view: RoutingView,
     state: RouteState,
     policy: PolicyConfig,
-    blocked: frozenset[int],
-    first_hop_filtered: bool,
+    blocked_by_origin: dict[int, frozenset[int]],
+    first_hop_stubs: frozenset[int],
 ) -> None:
-    pass_origin = state.origin
-    origin_is_stub = not view.customers[pass_origin]
-    drop_provider_first_hop = first_hop_filtered and origin_is_stub
     tier1_shortest = policy.tier1_shortest_path
     for exporter in range(len(view)):
         if not state.has_route(exporter):
@@ -198,14 +198,15 @@ def _check_stability(
         exporter_class = state.cls[exporter]
         exporter_length = state.length[exporter]
         exporter_origin = state.origin_of[exporter]
+        dropped_by = blocked_by_origin.get(exporter_origin, _EMPTY)
         receivers = list(view.customers[exporter])
         if exporter_class in (_ORIGIN, _CUSTOMER):
             receivers.extend(view.peers[exporter])
-            if not (exporter == pass_origin and drop_provider_first_hop):
+            if not (exporter == exporter_origin and exporter in first_hop_stubs):
                 receivers.extend(view.providers[exporter])
         for receiver in receivers:
-            if receiver in blocked and exporter_origin == pass_origin:
-                continue  # the receiver drops this announcement entirely
+            if receiver in dropped_by:
+                continue  # the receiver drops this origin's announcements
             offered_class = _edge_class(view, receiver, exporter)
             assert offered_class is not None
             if not state.has_route(receiver):
@@ -231,16 +232,18 @@ def _check_stability(
                 )
 
 
-def _check_blocked(state: RouteState, blocked: frozenset[int]) -> None:
-    pass_origin = state.origin
-    for node in blocked:
-        if node == pass_origin:
-            continue  # an attacker always installs its own bogus route
-        if state.origin_of[node] == pass_origin:
-            _fail(
-                "blocked",
-                f"blocked node {node} holds a route originated by {pass_origin}",
-            )
+def _check_blocked(
+    state: RouteState, blocked_by_origin: dict[int, frozenset[int]]
+) -> None:
+    for origin, blocked in blocked_by_origin.items():
+        for node in blocked:
+            if node == origin:
+                continue  # an attacker always installs its own bogus route
+            if state.origin_of[node] == origin:
+                _fail(
+                    "blocked",
+                    f"blocked node {node} holds a route originated by {origin}",
+                )
 
 
 def check_route_state(
@@ -250,6 +253,7 @@ def check_route_state(
     policy: PolicyConfig | None = None,
     blocked: Collection[int] = (),
     first_hop_filtered: bool = False,
+    history: "Sequence[tuple[int, Collection[int], bool]] | None" = None,
 ) -> None:
     """Run the full invariant suite on one converged state.
 
@@ -257,15 +261,36 @@ def check_route_state(
     that *produced* the state (they scope the stability and blocked
     checks to the announcements that were actually evaluated). Raises
     :class:`InvariantViolation` on the first violation found.
+
+    A state stacked from *several* announcements with different blocked
+    sets — a stream ledger, or any chain deeper than the batch
+    legitimate→attack pair — cannot be described by one pass's
+    parameters: a node blocked during an **earlier** pass legitimately
+    lacks that origin's route, which the single-pass stability check
+    would flag. For those, pass ``history`` instead: one
+    ``(origin, blocked, first_hop_filtered)`` triple per *active*
+    announcement (one per distinct origin, in announcement order). The
+    stability and blocked checks then scope each exemption to the origin
+    whose pass it was captured for; ``blocked``/``first_hop_filtered``
+    are ignored when ``history`` is given.
     """
     policy = policy or PolicyConfig()
-    blocked_set = frozenset(blocked)
+    if history is None:
+        history = ((state.origin, blocked, first_hop_filtered),)
+    blocked_by_origin = {
+        origin: frozenset(origin_blocked) for origin, origin_blocked, _ in history
+    }
+    first_hop_stubs = frozenset(
+        origin
+        for origin, _, first_hop in history
+        if first_hop and not view.customers[origin]
+    )
     _check_shape(view, state)
     _check_parent_edges(view, state)
     _check_loop_free(view, state)
     _check_valley_free(view, state, policy)
-    _check_stability(view, state, policy, blocked_set, first_hop_filtered)
-    _check_blocked(state, blocked_set)
+    _check_stability(view, state, policy, blocked_by_origin, first_hop_stubs)
+    _check_blocked(state, blocked_by_origin)
 
 
 def check_hijack_result(

@@ -39,6 +39,7 @@ from repro.topology.relationships import Relationship
 from repro.topology.view import RoutingView
 
 __all__ = [
+    "announce_withdraw_sequences",
     "deployment_vectors",
     "example_budget",
     "flat_graphs",
@@ -152,6 +153,51 @@ def hijack_cases(
         policy=PolicyConfig(tier1_shortest_path=tier1_shortest),
         first_hop_filtered=first_hop,
     )
+
+
+@st.composite
+def announce_withdraw_sequences(
+    draw,
+    *,
+    min_size: int = 4,
+    max_size: int = 24,
+    max_events: int = 10,
+    with_blocking: bool = True,
+):
+    """A routing view plus a random announce/withdraw operation sequence.
+
+    The raw material of the streaming-equivalence properties: each op is
+    a ``("announce", origin, blocked, first_hop)`` or
+    ``("withdraw", origin, frozenset(), False)`` tuple over the view's
+    node indices. Announcements pick currently-inactive origins and
+    withdrawals currently-active ones, so every op changes routing state
+    — the no-op paths have their own unit tests. Blocked sets (captured
+    per announcement, as the stream ledger does) never contain the
+    announcing origin; they may contain *other* chain origins, which is
+    exactly the multi-announcement case single-pass invariant parameters
+    cannot describe.
+    """
+    view = draw(routing_views(min_size=min_size, max_size=max_size))
+    nodes = st.integers(min_value=0, max_value=len(view) - 1)
+    ops: list[tuple[str, int, frozenset[int], bool]] = []
+    active: list[int] = []
+    count = draw(st.integers(min_value=1, max_value=max_events))
+    for _ in range(count):
+        inactive = [node for node in range(len(view)) if node not in active]
+        if active and (not inactive or draw(st.booleans())):
+            origin = draw(st.sampled_from(active))
+            active.remove(origin)
+            ops.append(("withdraw", origin, frozenset(), False))
+            continue
+        origin = draw(st.sampled_from(inactive))
+        blocked: frozenset[int] = frozenset()
+        if with_blocking:
+            blocked = frozenset(
+                draw(st.sets(nodes, max_size=max(0, len(view) // 2)))
+            ) - {origin}
+        active.append(origin)
+        ops.append(("announce", origin, blocked, draw(st.booleans())))
+    return view, ops
 
 
 @st.composite

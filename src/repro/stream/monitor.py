@@ -1,0 +1,243 @@
+"""The online hijack monitor: vantage points, MOAS alarms, latency.
+
+Batch detection (:meth:`HijackDetector.observe
+<repro.detection.detector.HijackDetector.observe>`) judges a *finished*
+attack outcome. A live monitor never sees outcomes — it sees what its
+probe ASes' selected routes say about a prefix *right now*, and its
+quality is measured by **detection latency**: how many events (and how
+much virtual time) pass between the bogus announcement entering the
+stream and the first alarm. That latency is the paper's operational
+stake — PHAS-style notification is only useful if it beats the outage
+ticket — and it is what batch pollution metrics cannot express.
+
+:class:`OnlineMonitor` is fed by the replay engine after every applied
+batch: it re-reads each probe's installed route for the touched prefix
+from the :class:`~repro.stream.incremental.PrefixLedger`, maps origin
+nodes back to announcing ASNs, and hands the observed origin set to
+:meth:`HijackDetector.observe_conflict
+<repro.detection.detector.HijackDetector.observe_conflict>` (MOAS
+conflicts and single-origin INVALID announcements alike). Alarm times
+are the *flush* times, so queue batching shows up as measurable added
+latency — the backpressure/latency trade-off becomes a number.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.detection.detector import HijackDetector
+from repro.obs.metrics import NULL_METRICS, Metrics
+from repro.prefixes.prefix import Prefix
+from repro.stream.incremental import PrefixLedger
+from repro.topology.view import RoutingView
+
+__all__ = ["MonitorReport", "OnlineMonitor", "StreamAlarm"]
+
+
+@dataclass(frozen=True)
+class StreamAlarm:
+    """One alarm the monitor raised, with its latency measurements.
+
+    ``latency_time``/``latency_events`` measure from the most recent
+    announcement of a culprit origin (the invalid origins when published
+    data identifies them, otherwise every conflicting origin) to the
+    moment the monitor judged the conflict — virtual seconds and events
+    processed respectively. ``triggered_probes`` are the probe ASes
+    whose selected route pointed at a culprit origin at alarm time.
+    """
+
+    at: float
+    prefix: Prefix
+    origins: tuple[int, ...]
+    verdict: str
+    invalid_origins: tuple[int, ...]
+    latency_time: float
+    latency_events: int
+    triggered_probes: tuple[int, ...]
+
+    def as_dict(self) -> dict[str, object]:
+        return {
+            "at": self.at,
+            "prefix": str(self.prefix),
+            "origins": list(self.origins),
+            "verdict": self.verdict,
+            "invalid_origins": list(self.invalid_origins),
+            "latency_time": self.latency_time,
+            "latency_events": self.latency_events,
+            "triggered_probes": list(self.triggered_probes),
+        }
+
+
+@dataclass(frozen=True)
+class MonitorReport:
+    """End-of-stream summary: every alarm plus headline latency."""
+
+    probe_set: str
+    probe_count: int
+    events_seen: int
+    conflicts_judged: int
+    alarms: tuple[StreamAlarm, ...]
+
+    @property
+    def first_alarm(self) -> StreamAlarm | None:
+        return self.alarms[0] if self.alarms else None
+
+    @property
+    def detection_latency_time(self) -> float | None:
+        """Virtual time to the first alarm; ``None`` if nothing fired."""
+        first = self.first_alarm
+        return first.latency_time if first else None
+
+    @property
+    def detection_latency_events(self) -> int | None:
+        first = self.first_alarm
+        return first.latency_events if first else None
+
+    def as_dict(self) -> dict[str, object]:
+        return {
+            "probe_set": self.probe_set,
+            "probe_count": self.probe_count,
+            "events_seen": self.events_seen,
+            "conflicts_judged": self.conflicts_judged,
+            "alarm_count": len(self.alarms),
+            "detection_latency_time": self.detection_latency_time,
+            "detection_latency_events": self.detection_latency_events,
+            "alarms": [alarm.as_dict() for alarm in self.alarms],
+        }
+
+
+class OnlineMonitor:
+    """Vantage-point observers over a stream of per-prefix ledgers.
+
+    The monitor only knows what its probes' selected routes show — an
+    attack polluting no probe is invisible, exactly as in the batch
+    Fig. 7 analysis, but measured live. Alarms deduplicate on
+    ``(prefix, observed origin set)``: a flapping hijack re-raising the
+    same conflict pages once, a *new* origin joining the conflict pages
+    again.
+
+    The replay engine drives three entry points: :meth:`note_event` per
+    accepted event (the event-latency clock), :meth:`note_announce` /
+    :meth:`note_withdraw` for ground-truth anchoring, and
+    :meth:`observe` after each batch apply that touched a prefix.
+    """
+
+    def __init__(
+        self,
+        view: RoutingView,
+        detector: HijackDetector,
+        *,
+        metrics: Metrics | None = None,
+    ) -> None:
+        self.view = view
+        self.detector = detector
+        self.metrics = metrics if metrics is not None else NULL_METRICS
+        self._probe_views: tuple[tuple[int, int], ...] = tuple(
+            sorted(
+                (asn, view.node_of(asn))
+                for asn in detector.probes.asns
+                if view.has_asn(asn)
+            )
+        )
+        self._announced: dict[tuple[Prefix, int], tuple[float, int]] = {}
+        self._alarm_keys: set[tuple[Prefix, tuple[int, ...]]] = set()
+        self._events_seen = 0
+        self._conflicts_judged = 0
+        self.alarms: list[StreamAlarm] = []
+
+    # -- stream feed -------------------------------------------------------
+
+    def note_event(self) -> None:
+        """Tick the event clock (one accepted event entered the stream)."""
+        self._events_seen += 1
+
+    def note_announce(self, prefix: Prefix, origin_asn: int, at: float) -> None:
+        """Anchor ground truth: *origin_asn* announced *prefix* at *at*."""
+        self._announced.setdefault((prefix, origin_asn), (at, self._events_seen))
+
+    def note_withdraw(self, prefix: Prefix, origin_asn: int) -> None:
+        """Drop the anchor so a re-announcement re-anchors latency."""
+        self._announced.pop((prefix, origin_asn), None)
+
+    def observe(self, at: float, prefix: Prefix, ledger: PrefixLedger) -> StreamAlarm | None:
+        """Re-read the probes' routes for *prefix*; alarm on a judged conflict.
+
+        *at* is the flush time of the batch that mutated the ledger —
+        alarms raised out of a coalesced batch carry the batching delay
+        in their latency, by design.
+        """
+        state = ledger.state
+        if state is None:
+            return None
+        asn_of_origin = ledger.origin_asns()
+        seen_by: dict[int, list[int]] = {}
+        for probe_asn, probe_node in self._probe_views:
+            origin_node = state.origin_of[probe_node]
+            if origin_node == -1:
+                continue
+            origin_asn = asn_of_origin.get(origin_node)
+            if origin_asn is None:  # defensively skip stale origins
+                continue
+            seen_by.setdefault(origin_asn, []).append(probe_asn)
+        if not seen_by:
+            return None
+        origins = tuple(sorted(seen_by))
+        report = self.detector.observe_conflict(prefix, origins)
+        if report is None:
+            return None
+        self._conflicts_judged += 1
+        self.metrics.count("stream.monitor.conflicts")
+        if not report.alarm:
+            return None
+        key = (prefix, report.origins)
+        if key in self._alarm_keys:
+            return None
+        self._alarm_keys.add(key)
+        culprits = report.invalid_origins or report.origins
+        anchors = [
+            anchor
+            for origin in culprits
+            if (anchor := self._announced.get((prefix, origin))) is not None
+        ]
+        if anchors:
+            anchor_at, anchor_seq = max(anchors)
+            latency_time = max(0.0, at - anchor_at)
+            latency_events = max(0, self._events_seen - anchor_seq)
+        else:
+            latency_time, latency_events = 0.0, 0
+        triggered = tuple(
+            sorted(
+                probe
+                for origin in culprits
+                for probe in seen_by.get(origin, ())
+            )
+        )
+        alarm = StreamAlarm(
+            at=at,
+            prefix=prefix,
+            origins=report.origins,
+            verdict=report.verdict.value,
+            invalid_origins=report.invalid_origins,
+            latency_time=latency_time,
+            latency_events=latency_events,
+            triggered_probes=triggered,
+        )
+        self.alarms.append(alarm)
+        self.metrics.count("stream.monitor.alarms")
+        if len(self.alarms) == 1:
+            self.metrics.gauge("stream.monitor.first_alarm_latency_s", latency_time)
+            self.metrics.gauge(
+                "stream.monitor.first_alarm_latency_events", float(latency_events)
+            )
+        return alarm
+
+    # -- summary -----------------------------------------------------------
+
+    def report(self) -> MonitorReport:
+        return MonitorReport(
+            probe_set=self.detector.probes.name,
+            probe_count=len(self.detector.probes),
+            events_seen=self._events_seen,
+            conflicts_judged=self._conflicts_judged,
+            alarms=tuple(self.alarms),
+        )

@@ -106,6 +106,52 @@ class TestCommands:
         assert main(["plan", "--region", "R00", "--as-count", "400"]) == 0
         assert "Self-interest action plan" in capsys.readouterr().out
 
+    def test_stream_help_smoke(self, capsys):
+        with pytest.raises(SystemExit) as excinfo:
+            main(["stream", "--help"])
+        assert excinfo.value.code == 0
+        output = capsys.readouterr().out
+        assert "JSONL" in output and "--batch-window" in output
+
+    def test_stream_compile_only_writes_readable_jsonl(self, tmp_path, capsys):
+        from repro.stream import Announce, RoaPublish, read_events
+
+        path = tmp_path / "campaign.jsonl"
+        assert main(["stream", "--as-count", "400", "--attacks", "2",
+                     "--publish-roas", "--compile-only", str(path)]) == 0
+        assert "wrote" in capsys.readouterr().out
+        events = read_events(path)
+        assert any(isinstance(event, Announce) for event in events)
+        assert any(isinstance(event, RoaPublish) for event in events)
+
+    def test_stream_replay_emits_json_report(self, tmp_path, capsys):
+        stream_path = tmp_path / "campaign.jsonl"
+        assert main(["stream", "--as-count", "400", "--attacks", "2",
+                     "--publish-roas", "--compile-only", str(stream_path)]) == 0
+        report_path = tmp_path / "report.json"
+        assert main(["stream", "--as-count", "400", "-i", str(stream_path),
+                     "--probes", "top-degree", "--batch-window", "0.5",
+                     "--report", str(report_path)]) == 0
+        payload = json.loads(report_path.read_text())
+        assert payload["events"]["submitted"] == 6  # 2 ROAs + 4 announces
+        assert payload["events"]["malformed"] == 0
+        assert "alarms" in payload["monitor"]
+        assert payload["prefixes"], "expected per-prefix final state"
+
+    def test_bench_stream_suite(self, tmp_path, capsys):
+        from repro.obs.compare import load_bench
+
+        path = tmp_path / "BENCH_stream.json"
+        assert main(["bench", "--suite", "stream", "--profile", "tiny",
+                     "-o", str(path)]) == 0
+        output = capsys.readouterr().out
+        assert "stream bench profile: tiny" in output
+        assert "incremental vs full re-convergence" in output
+        payload = load_bench(path)
+        assert payload["name"] == "stream-tiny"
+        assert payload["derived"]["checksums_consistent"] is True
+        assert payload["speedups"]["stream_incremental"] > 0
+
     def test_bench_writes_valid_bench_file(self, tmp_path, capsys):
         from repro.obs.compare import load_bench
 

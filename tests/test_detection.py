@@ -5,6 +5,7 @@ import pytest
 from repro.attacks.lab import HijackLab
 from repro.detection.analysis import DetectionStudy, greedy_probe_placement
 from repro.detection.detector import HijackDetector
+from repro.detection.moas import MoasVerdict
 from repro.detection.probes import (
     bgpmon_like_probes,
     custom_probes,
@@ -12,7 +13,9 @@ from repro.detection.probes import (
     tier1_probes,
     top_degree_probes,
 )
+from repro.prefixes.prefix import Prefix
 from repro.registry.publication import PublicationState
+from repro.registry.roa import RoaTable, RouteOriginAuthorization
 
 
 @pytest.fixture
@@ -84,6 +87,62 @@ class TestDetector:
         publication = PublicationState.with_participants(mini_lab.plan, [50])
         detector = HijackDetector(custom_probes("x", [20]), publication.table())
         assert detector.observe(mini_lab.origin_hijack(50, 60)).detected
+
+
+class TestObserveConflict:
+    """The event-by-event entry point a live monitor drives."""
+
+    prefix = Prefix.parse("10.0.0.0/16")
+
+    def detector(self, *roas) -> HijackDetector:
+        authority = RoaTable(roas) if roas else None
+        return HijackDetector(custom_probes("x", [1, 2]), authority)
+
+    def roa(self, origin: int) -> RouteOriginAuthorization:
+        return RouteOriginAuthorization(self.prefix, origin)
+
+    def test_nothing_observed_is_not_a_conflict(self):
+        assert self.detector().observe_conflict(self.prefix, ()) is None
+
+    def test_single_origin_needs_published_data(self):
+        # Without an authority a lone origin is unjudgeable; with one that
+        # doesn't cover the prefix it's NOT_FOUND — no alarm either way.
+        assert self.detector().observe_conflict(self.prefix, (60,)) is None
+        other = RouteOriginAuthorization(Prefix.parse("11.0.0.0/16"), 50)
+        assert self.detector(other).observe_conflict(self.prefix, (60,)) is None
+
+    def test_single_valid_origin_is_quiet(self):
+        report = self.detector(self.roa(50)).observe_conflict(self.prefix, (50,))
+        assert report is None
+
+    def test_single_invalid_origin_alarms_without_moas(self):
+        # The sub-prefix shape: the bogus more-specific is the *only*
+        # announcement for its NLRI, so there is no origin conflict at all
+        # — published data is the only thing that can catch it.
+        report = self.detector(self.roa(50)).observe_conflict(self.prefix, (60,))
+        assert report is not None and report.alarm
+        assert report.verdict is MoasVerdict.HIJACK
+        assert report.invalid_origins == (60,)
+
+    def test_moas_without_authority_is_unverifiable_alarm(self):
+        report = self.detector().observe_conflict(self.prefix, (60, 50))
+        assert report is not None and report.alarm
+        assert report.verdict is MoasVerdict.UNVERIFIABLE
+        assert report.origins == (50, 60)
+
+    def test_moas_with_invalid_origin_is_hijack(self):
+        report = self.detector(self.roa(50)).observe_conflict(
+            self.prefix, [60, 50, 60]
+        )
+        assert report.verdict is MoasVerdict.HIJACK
+        assert report.invalid_origins == (60,)
+
+    def test_authorized_anycast_does_not_alarm(self):
+        report = self.detector(self.roa(50), self.roa(60)).observe_conflict(
+            self.prefix, (50, 60)
+        )
+        assert report.verdict is MoasVerdict.LEGITIMATE_ANYCAST
+        assert not report.alarm
 
 
 class TestStudy:

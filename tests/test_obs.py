@@ -18,8 +18,10 @@ from repro.obs import (
     Metrics,
     NullMetrics,
     SpanStats,
+    STREAM_PROFILES,
     env_fingerprint,
     run_bench,
+    run_stream_bench,
 )
 from repro.obs.compare import (
     BenchFormatError,
@@ -200,6 +202,56 @@ class TestBench:
             "python", "implementation", "platform", "machine", "cpu_count",
         }
         assert env["cpu_count"] >= 1
+
+
+class TestStreamBench:
+    @pytest.fixture(scope="class")
+    def tiny_payload(self, tmp_path_factory):
+        path = tmp_path_factory.mktemp("bench") / "BENCH_stream.json"
+        payload, written = run_stream_bench("tiny", output=path)
+        assert written == path
+        return payload
+
+    def test_schema_snapshot(self, tiny_payload):
+        # Same top-level contract as run_bench (docs/performance.md):
+        # the compare gate diffs the stream timing keys by name.
+        assert tiny_payload["schema"] == SCHEMA
+        assert set(tiny_payload) == {
+            "schema", "name", "created", "config", "env",
+            "timings", "counters", "gauges", "spans", "speedups", "derived",
+        }
+        assert set(tiny_payload["timings"]) >= {
+            "topology_s", "stream_incremental_s", "stream_full_s",
+            "stream_replay_s", "total_s",
+        }
+        assert set(tiny_payload["speedups"]) == {"stream_incremental"}
+        assert set(tiny_payload["derived"]) == {
+            "events", "checksums_consistent", "events_per_s",
+            "replay_events_submitted", "replay_events_coalesced",
+            "replay_flushes", "alarms", "detection_latency_time",
+            "detection_latency_events",
+        }
+
+    def test_name_carries_profile(self, tiny_payload):
+        assert tiny_payload["name"] == "stream-tiny"
+        assert tiny_payload["config"]["as_count"] == STREAM_PROFILES["tiny"].as_count
+
+    def test_incremental_checksums_consistent(self, tiny_payload):
+        assert tiny_payload["derived"]["checksums_consistent"] is True
+        assert tiny_payload["speedups"]["stream_incremental"] > 0
+
+    def test_stream_counters_present(self, tiny_payload):
+        assert tiny_payload["counters"]["stream.ledger.convergences"] > 0
+        assert tiny_payload["counters"]["stream.replay.submitted"] > 0
+
+    def test_round_trips_through_load_bench(self, tmp_path):
+        payload, path = run_stream_bench("tiny", output=tmp_path / "s.json")
+        assert load_bench(path)["name"] == "stream-tiny"
+        assert json.loads(path.read_text()) == json.loads(json.dumps(payload))
+
+    def test_unknown_profile_rejected(self):
+        with pytest.raises(ValueError, match="unknown stream bench profile"):
+            run_stream_bench("nope")
 
 
 def _payload(name="smoke", **timings):

@@ -1,0 +1,123 @@
+"""Unit tests for the per-prefix incremental convergence ledger."""
+
+import pytest
+
+from repro.bgp.engine import RoutingEngine
+from repro.obs.metrics import Metrics
+from repro.stream.incremental import AnnounceEntry, PrefixLedger, full_converge
+
+
+@pytest.fixture
+def engine(mini_view) -> RoutingEngine:
+    return RoutingEngine(mini_view)
+
+
+def node(view, asn: int) -> int:
+    return view.node_of(asn)
+
+
+class TestLedgerBasics:
+    def test_empty_ledger_has_no_state(self, engine):
+        ledger = PrefixLedger(engine)
+        assert len(ledger) == 0
+        assert ledger.state is None
+        assert ledger.checksum() is None
+        assert ledger.entries == ()
+        assert full_converge(engine, ledger.entries) is None
+
+    def test_single_announce_equals_cold_converge(self, engine, mini_view):
+        ledger = PrefixLedger(engine)
+        origin = node(mini_view, 50)
+        assert ledger.announce(origin, origin_asn=50)
+        assert ledger.checksum() == engine.converge(origin).checksum()
+        assert ledger.origin_asns() == {origin: 50}
+
+    def test_duplicate_announce_is_noop(self, engine, mini_view):
+        ledger = PrefixLedger(engine)
+        origin = node(mini_view, 50)
+        assert ledger.announce(origin)
+        before = ledger.checksum()
+        assert not ledger.announce(origin)
+        assert len(ledger) == 1 and ledger.checksum() == before
+
+    def test_withdraw_of_inactive_origin_is_noop(self, engine, mini_view):
+        ledger = PrefixLedger(engine)
+        assert not ledger.withdraw(node(mini_view, 50))
+        assert ledger.announce(node(mini_view, 50))
+        assert not ledger.withdraw(node(mini_view, 60))
+
+    def test_captured_parameters_reach_the_pass(self, engine, mini_view):
+        blocked = frozenset({node(mini_view, 40)})
+        ledger = PrefixLedger(engine)
+        assert ledger.announce(node(mini_view, 60), blocked=blocked,
+                               first_hop_filtered=True)
+        entry = ledger.entries[0]
+        assert entry.blocked == blocked and entry.first_hop_filtered
+        reference = engine.converge(
+            node(mini_view, 60), blocked=blocked, filter_first_hop_providers=True
+        )
+        assert ledger.checksum() == reference.checksum()
+
+
+class TestWithdrawRewind:
+    def test_newest_withdraw_restores_previous_state(self, engine, mini_view):
+        ledger = PrefixLedger(engine)
+        assert ledger.announce(node(mini_view, 50))
+        before = ledger.checksum()
+        assert ledger.announce(node(mini_view, 60))
+        assert ledger.withdraw(node(mini_view, 60))
+        assert ledger.checksum() == before
+
+    def test_interior_withdraw_replays_suffix(self, engine, mini_view):
+        ledger = PrefixLedger(engine)
+        for asn in (50, 60, 70):
+            assert ledger.announce(node(mini_view, asn))
+        assert ledger.withdraw(node(mini_view, 50))
+        assert ledger.active_origins() == (
+            node(mini_view, 60), node(mini_view, 70)
+        )
+        assert ledger.checksum() == full_converge(
+            engine,
+            (AnnounceEntry(node(mini_view, 60), 60),
+             AnnounceEntry(node(mini_view, 70), 70)),
+        ).checksum()
+
+    def test_withdraw_to_empty(self, engine, mini_view):
+        ledger = PrefixLedger(engine)
+        assert ledger.announce(node(mini_view, 50))
+        assert ledger.withdraw(node(mini_view, 50))
+        assert ledger.state is None and ledger.checksum() is None
+
+
+class TestValidateMode:
+    def test_validated_ledger_records_checksums(self, mini_view):
+        ledger = PrefixLedger(RoutingEngine(mini_view, validate=True))
+        assert ledger.announce(node(mini_view, 50))
+        assert ledger.announce(node(mini_view, 60))
+        assert all(slot.checksum for slot in ledger._slots)
+        assert ledger.withdraw(node(mini_view, 60))  # tripwire passes
+
+    def test_rewind_tripwire_catches_external_corruption(self, mini_view):
+        ledger = PrefixLedger(RoutingEngine(mini_view, validate=True))
+        origin_a = node(mini_view, 50)
+        assert ledger.announce(origin_a)
+        assert ledger.announce(node(mini_view, 60))
+        # Corrupt a cell the second delta never touched: the first
+        # origin's own entry (an origin route is never displaced).
+        ledger._state.length[origin_a] += 7
+        with pytest.raises(RuntimeError, match="journal corruption"):
+            ledger.withdraw(node(mini_view, 60))
+
+
+class TestMetrics:
+    def test_ledger_counters(self, mini_view):
+        metrics = Metrics()
+        ledger = PrefixLedger(RoutingEngine(mini_view), metrics=metrics)
+        for asn in (50, 60, 70):
+            assert ledger.announce(node(mini_view, asn))
+        assert ledger.withdraw(node(mini_view, 50))  # rewinds 3, replays 2
+        counters = metrics.snapshot()["counters"]
+        assert counters["stream.ledger.convergences"] == 5
+        assert counters["stream.ledger.reverts"] == 3
+        assert counters["stream.ledger.replays"] == 2
+        assert counters["stream.ledger.cells_installed"] > 0
