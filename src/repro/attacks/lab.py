@@ -55,6 +55,7 @@ class HijackLab:
         cache: ConvergenceCache | None = None,
         validate: bool = False,
         metrics: Metrics | None = None,
+        backend: str = "reference",
     ) -> None:
         self.graph = graph
         self.plan = plan if plan is not None else default_address_plan(graph, seed=seed)
@@ -63,6 +64,7 @@ class HijackLab:
         self.seed = seed
         self.workers = workers
         self.validate = validate
+        self.backend = backend
         # One metrics sink flows through everything the lab drives —
         # engine convergences, cache lookups, executor runs, sweep spans
         # (see docs/performance.md); the default NULL_METRICS is a no-op.
@@ -72,7 +74,11 @@ class HijackLab:
         # convergence and per-hit cache verification (see docs/testing.md);
         # the default path is unchanged.
         self.engine = RoutingEngine(
-            self.view, self.policy, validate=validate, metrics=self.metrics
+            self.view,
+            self.policy,
+            validate=validate,
+            metrics=self.metrics,
+            backend=backend,
         )
         self.cache = (
             cache
@@ -98,6 +104,7 @@ class HijackLab:
         clone.seed = self.seed
         clone.workers = self.workers
         clone.validate = self.validate
+        clone.backend = self.backend
         clone.metrics = self.metrics
         clone.view = self.view
         clone.engine = self.engine

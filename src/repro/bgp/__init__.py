@@ -15,8 +15,25 @@ from repro.bgp.simulator import (
     PropagationReport,
 )
 
+# The array-kernel names are exported lazily (PEP 562) so that merely
+# importing repro.bgp on the reference path never pays the numpy import.
+_KERNEL_EXPORTS = ("BACKENDS", "CompiledTopology", "compile_view", "resolve_backend")
+
+
+def __getattr__(name: str):
+    if name in _KERNEL_EXPORTS:
+        from repro.bgp import kernel
+
+        return getattr(kernel, name)
+    raise AttributeError(f"module {__name__!r} has no attribute {name!r}")
+
+
 __all__ = [
+    "BACKENDS",
     "BGPSimulator",
+    "CompiledTopology",
+    "compile_view",
+    "resolve_backend",
     "ConvergenceError",
     "ConvergenceStats",
     "generation_wavefront",

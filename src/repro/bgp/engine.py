@@ -173,6 +173,13 @@ class RoutingEngine:
     emits once per convergence, so the instrumented path costs a handful
     of dict updates per *convergence*, not per message; the default
     ``NULL_METRICS`` sink reduces that to four no-op calls.
+
+    ``backend`` selects the propagation kernel: ``"reference"`` (default)
+    is the pure-Python bucket queue below; ``"array"`` is the flat-array
+    kernel in :mod:`repro.bgp.kernel`, which produces bit-identical
+    :meth:`RouteState.checksum` outcomes at a fraction of the wall-clock
+    on large topologies (see ``docs/performance.md``). The contract is
+    enforced by ``tests/property/test_kernel_equivalence.py``.
     """
 
     def __init__(
@@ -182,11 +189,24 @@ class RoutingEngine:
         *,
         validate: bool = False,
         metrics: Metrics | None = None,
+        backend: str = "reference",
     ) -> None:
         self.view = view
         self.policy = policy or PolicyConfig()
         self.validate = validate
         self.metrics = metrics if metrics is not None else NULL_METRICS
+        if backend != "reference":
+            # Imported lazily: the reference path must not pay the numpy
+            # import, and kernel.py type-checks against this module.
+            from repro.bgp.kernel import compile_view, propagate_array, resolve_backend
+
+            self.backend = resolve_backend(backend)
+            self._compiled = compile_view(view)
+            self._propagate_array = propagate_array
+        else:
+            self.backend = backend
+            self._compiled = None
+            self._propagate_array = None
 
     # -- public API ------------------------------------------------------------
 
@@ -216,6 +236,7 @@ class RoutingEngine:
             blocked_set,
             filter_first_hop_providers,
             journal=None,
+            fresh=base is None,
         )
         if self.validate:
             # Imported lazily: the oracle package imports this module.
@@ -286,15 +307,46 @@ class RoutingEngine:
         blocked_set: frozenset[int],
         filter_first_hop_providers: bool,
         journal: list[tuple[int, int, int, int, int]] | None,
+        fresh: bool = False,
     ) -> None:
-        """The shared bucket-queue propagation kernel.
+        """The propagation kernel dispatcher.
 
         Mutates *state* in place. When *journal* is given, every install
         appends the overwritten ``(node, cls, length, parent, origin_of)``
         cells (pre-install values) so the pass can be reverted; the batch
         path passes ``None`` and pays only one ``is not None`` test per
-        install.
+        install. ``fresh=True`` asserts *state* is a pristine
+        :meth:`RouteState.empty` — a pure hint; the array kernel uses it
+        to fill its scratch arrays directly instead of converting the
+        state lists. Both backends produce identical state arrays,
+        journals and metrics counters.
         """
+        if self._propagate_array is not None:
+            messages, installs, replaced, rounds = self._propagate_array(
+                self._compiled,
+                state,
+                origin,
+                blocked_set,
+                filter_first_hop_providers,
+                self.policy.tier1_shortest_path,
+                journal,
+                fresh,
+            )
+            self._emit_convergence_metrics(messages, installs, replaced, rounds)
+            return
+        self._propagate_reference(
+            state, origin, blocked_set, filter_first_hop_providers, journal
+        )
+
+    def _propagate_reference(
+        self,
+        state: RouteState,
+        origin: int,
+        blocked_set: frozenset[int],
+        filter_first_hop_providers: bool,
+        journal: list[tuple[int, int, int, int, int]] | None,
+    ) -> None:
+        """The pure-Python bucket-queue propagation kernel."""
         view = self.view
         cls = state.cls
         length = state.length
@@ -381,8 +433,7 @@ class RoutingEngine:
                         origin_of[node] = origin
                         push_exports(node, route_class, route_length)
             route_length += 1
-        metrics = self.metrics
-        if metrics.enabled:
+        if self.metrics.enabled:
             # Every bucket entry is one announcement crossing one link;
             # summing after the fact keeps the hot loop free of counting.
             messages = sum(
@@ -391,11 +442,18 @@ class RoutingEngine:
                 if bucket is not None
                 for per_class in bucket
             )
+            self._emit_convergence_metrics(messages, installs, replaced, len(buckets))
+
+    def _emit_convergence_metrics(
+        self, messages: int, installs: int, replaced: int, rounds: int
+    ) -> None:
+        metrics = self.metrics
+        if metrics.enabled:
             metrics.count("engine.convergences")
             metrics.count("engine.messages", messages)
             metrics.count("engine.routes_installed", installs)
             metrics.count("engine.routes_replaced", replaced)
-            metrics.count("engine.convergence_rounds", len(buckets))
+            metrics.count("engine.convergence_rounds", rounds)
 
     def hijack(
         self,

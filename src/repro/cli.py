@@ -12,7 +12,9 @@ Subcommands cover the everyday workflows:
   (engine vs the slow reference simulator; see docs/testing.md)
 * ``bench``     — run a scale-knobbed benchmark profile and write a
   machine-readable ``BENCH_<name>.json`` (see docs/performance.md);
-  ``--suite stream`` benchmarks the event-streaming subsystem instead
+  ``--suite stream`` benchmarks the event-streaming subsystem instead,
+  ``--suite scale`` the array vs reference convergence backends at
+  CAIDA scale
 * ``stream``    — replay a JSONL event stream (or compile one from
   random hijack scenarios) through the incremental-convergence engine
   and the online hijack monitor, emitting a JSON report
@@ -20,7 +22,10 @@ Subcommands cover the everyday workflows:
 
 The global ``--metrics <path>`` flag arms the :mod:`repro.obs` metrics
 layer for any subcommand and writes its JSON snapshot (counters, gauges,
-spans) to *path* when the command finishes.
+spans) to *path* when the command finishes. The global ``--backend``
+flag selects the convergence kernel (``reference`` or ``array``) for
+every lab- and suite-driving subcommand; both backends are
+checksum-identical by contract, so it changes wall-clock only.
 """
 
 from __future__ import annotations
@@ -35,7 +40,7 @@ from repro.core.vulnerability import profile_target
 from repro.experiments.config import ExperimentConfig
 from repro.experiments.store import ResultStore
 from repro.experiments.suite import ExperimentSuite
-from repro.obs.bench import PROFILES, run_bench, run_stream_bench
+from repro.obs.bench import PROFILES, run_bench, run_scale_bench, run_stream_bench
 from repro.obs.metrics import NULL_METRICS, Metrics
 from repro.topology.caida import dump_caida, load_caida
 from repro.topology.classify import summarize
@@ -57,6 +62,10 @@ def build_parser() -> argparse.ArgumentParser:
         description="BGP origin-hijack deployment-strategy simulator (ICDCS 2014 reproduction)",
     )
     parser.add_argument("--seed", type=int, default=2014, help="experiment seed")
+    parser.add_argument(
+        "--backend", choices=("reference", "array"), default="reference",
+        help="convergence kernel (checksum-identical; array is faster at scale)",
+    )
     parser.add_argument(
         "--metrics", type=Path, default=None, metavar="PATH",
         help="record runtime metrics (repro.obs) and write the JSON snapshot here",
@@ -136,8 +145,9 @@ def build_parser() -> argparse.ArgumentParser:
     )
     bench.add_argument("--profile", choices=sorted(PROFILES), default="smoke")
     bench.add_argument(
-        "--suite", choices=("core", "stream"), default="core",
-        help="core: sweep/cache/overhead benchmark; stream: event-streaming benchmark",
+        "--suite", choices=("core", "stream", "scale"), default="core",
+        help="core: sweep/cache/overhead benchmark; stream: event-streaming "
+             "benchmark; scale: array vs reference backends at CAIDA scale",
     )
     bench.add_argument(
         "-o", "--output", type=Path, default=None,
@@ -223,7 +233,7 @@ def _cmd_summarize(args: argparse.Namespace) -> int:
 def _cmd_attack(args: argparse.Namespace) -> int:
     lab = HijackLab(
         _topology(args), seed=args.seed, validate=args.validate,
-        metrics=_metrics(args),
+        metrics=_metrics(args), backend=args.backend,
     )
     if args.subprefix:
         outcome = lab.subprefix_hijack(args.target, args.attacker)
@@ -240,7 +250,7 @@ def _cmd_attack(args: argparse.Namespace) -> int:
 def _cmd_sweep(args: argparse.Namespace) -> int:
     lab = HijackLab(
         _topology(args), seed=args.seed, validate=args.validate,
-        metrics=_metrics(args),
+        metrics=_metrics(args), backend=args.backend,
     )
     profile = profile_target(
         lab, args.target, transit_only=args.transit_only, sample=args.sample
@@ -263,6 +273,7 @@ def _cmd_figure(args: argparse.Namespace) -> int:
         attacker_sample=args.sample,
         detection_attacks=args.attacks,
         validate=args.validate,
+        backend=args.backend,
     )
     suite = ExperimentSuite(config, metrics=_metrics(args))
     names = _EXPERIMENTS if args.name == "all" else (args.name,)
@@ -281,7 +292,10 @@ def _cmd_figure(args: argparse.Namespace) -> int:
 
 
 def _cmd_plan(args: argparse.Namespace) -> int:
-    lab = HijackLab(_topology(args), seed=args.seed, metrics=_metrics(args))
+    lab = HijackLab(
+        _topology(args), seed=args.seed, metrics=_metrics(args),
+        backend=args.backend,
+    )
     planner = SelfInterestPlanner(lab)
     action_plan = planner.plan(args.region, target_asn=args.target)
     print(action_plan.report())
@@ -291,7 +305,10 @@ def _cmd_plan(args: argparse.Namespace) -> int:
 def _cmd_calibrate(args: argparse.Namespace) -> int:
     from repro.experiments.calibration import calibrate
 
-    lab = HijackLab(_topology(args), seed=args.seed, metrics=_metrics(args))
+    lab = HijackLab(
+        _topology(args), seed=args.seed, metrics=_metrics(args),
+        backend=args.backend,
+    )
     report = calibrate(
         lab,
         agreement_samples=args.agreement_samples,
@@ -326,7 +343,9 @@ def _cmd_validate(args: argparse.Namespace) -> int:
 
     # 2. Invariant suite + determinism on a generated (calibrated) topology.
     graph = generate_topology(GeneratorConfig.scaled(args.as_count, seed=args.seed))
-    lab = HijackLab(graph, seed=args.seed, metrics=_metrics(args))
+    lab = HijackLab(
+        graph, seed=args.seed, metrics=_metrics(args), backend=args.backend
+    )
     rng = make_rng(args.seed, "cli-validate")
     pool = lab.attacker_pool(transit_only=True)
     try:
@@ -386,6 +405,8 @@ def _cmd_bench(args: argparse.Namespace) -> int:
     sink = _metrics(args)
     if args.suite == "stream":
         return _bench_stream(args, sink)
+    if args.suite == "scale":
+        return _bench_scale(args, sink)
     payload, path = run_bench(
         args.profile,
         output=args.output,
@@ -440,6 +461,34 @@ def _bench_stream(args: argparse.Namespace, sink: Metrics) -> int:
     return 0
 
 
+def _bench_scale(args: argparse.Namespace, sink: Metrics) -> int:
+    payload, path = run_scale_bench(
+        args.profile,
+        output=args.output,
+        metrics=sink if sink.enabled else None,
+    )
+    timings = payload["timings"]
+    derived = payload["derived"]
+    rows = [(key, round(value, 4)) for key, value in sorted(timings.items())]
+    print(render_table(
+        ("phase", "seconds"), rows, title=f"scale bench profile: {args.profile}"
+    ))
+    print(
+        f"single-origin convergence at {derived['as_count']} ASes "
+        f"({derived['links']} links): reference "
+        f"{derived['reference_origin_s'] * 1000:.1f} ms, array "
+        f"{derived['array_origin_s'] * 1000:.1f} ms — "
+        f"{payload['speedups']['single_origin']:.2f}x "
+        f"(hijack stacking {payload['speedups']['hijack']:.2f}x)"
+    )
+    if not derived["checksums_consistent"]:
+        print("ERROR: array backend checksums diverged from reference",
+              file=sys.stderr)
+        return 1
+    print(f"wrote {path}")
+    return 0
+
+
 def _cmd_stream(args: argparse.Namespace) -> int:
     import json
 
@@ -468,7 +517,10 @@ def _cmd_stream(args: argparse.Namespace) -> int:
             GeneratorConfig.scaled(args.as_count, seed=args.seed)
         )
     metrics = _metrics(args)
-    lab = HijackLab(graph, seed=args.seed, validate=args.validate, metrics=metrics)
+    lab = HijackLab(
+        graph, seed=args.seed, validate=args.validate, metrics=metrics,
+        backend=args.backend,
+    )
     if args.input is not None:
         events = read_events(args.input)
     else:
@@ -539,6 +591,7 @@ def _cmd_report(args: argparse.Namespace) -> int:
         output_dir=args.output_dir,
         attacker_sample=args.sample,
         detection_attacks=args.attacks,
+        backend=args.backend,
     )
     suite = ExperimentSuite(config, metrics=_metrics(args))
     results = []

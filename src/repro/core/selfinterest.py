@@ -295,6 +295,7 @@ def compare_rehoming_vs_deployment(
         rehomed_lab = HijackLab(
             apply_rehoming(lab.graph, plan),
             plan=lab.plan, policy=lab.policy, seed=lab.seed,
+            backend=lab.backend,
         )
         rehomed = mean_pollution(rehomed_lab, current_strategy)
     return RehomeVsDeployment(
@@ -402,6 +403,7 @@ class SelfInterestPlanner:
                 policy=self.lab.policy,
                 defense=self.lab.defense,
                 seed=self.lab.seed,
+                backend=self.lab.backend,
             )
             rehomed_impact = regional_attack_study(
                 rehomed_lab, target, region,

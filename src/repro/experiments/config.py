@@ -32,7 +32,10 @@ class ExperimentConfig:
     invariant checker (:mod:`repro.oracle.invariants`) on every
     convergence the experiments run — a correctness tripwire for long
     unattended runs, off by default because it costs roughly one extra
-    pass over the topology per convergence.
+    pass over the topology per convergence. ``backend`` selects the
+    convergence kernel (``"reference"`` or ``"array"``); both are
+    checksum-identical, so like ``workers`` it changes wall-clock only,
+    never a result (see the Backends section of docs/performance.md).
     """
 
     topology: GeneratorConfig = field(default_factory=GeneratorConfig)
@@ -43,6 +46,7 @@ class ExperimentConfig:
     external_sample: int = 200
     workers: int = 1
     validate: bool = False
+    backend: str = "reference"
 
     def scaled(self, *, attacker_sample: int | None, detection_attacks: int) -> "ExperimentConfig":
         """A copy with different workload sizes (used by fast CI runs)."""
@@ -55,6 +59,7 @@ class ExperimentConfig:
             external_sample=self.external_sample,
             workers=self.workers,
             validate=self.validate,
+            backend=self.backend,
         )
 
 

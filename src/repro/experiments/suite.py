@@ -71,6 +71,7 @@ class ExperimentSuite:
             workers=self.config.workers,
             validate=self.config.validate,
             metrics=self.metrics,
+            backend=self.config.backend,
         )
         self.roles: RoleCatalog = resolve_roles(self.graph)
         self.publication = PublicationState.full(self.lab.plan)
@@ -466,7 +467,7 @@ class ExperimentSuite:
                 apply_rehoming(self.graph, plan),
                 plan=self.lab.plan, policy=self.lab.policy, seed=self.config.seed,
                 workers=self.config.workers, validate=self.config.validate,
-                metrics=self.metrics,
+                metrics=self.metrics, backend=self.config.backend,
             )
             after = regional_attack_study(
                 rehomed_lab, target, region,

@@ -15,12 +15,15 @@ See ``docs/performance.md`` for the BENCH schema and the CI gate.
 
 from repro.obs.bench import (
     PROFILES,
+    SCALE_PROFILES,
     SCHEMA,
     STREAM_PROFILES,
     BenchProfile,
+    ScaleBenchProfile,
     StreamBenchProfile,
     env_fingerprint,
     run_bench,
+    run_scale_bench,
     run_stream_bench,
 )
 from repro.obs.metrics import NULL_METRICS, Metrics, NullMetrics, SpanStats
@@ -48,13 +51,16 @@ __all__ = [
     "NULL_METRICS",
     "NullMetrics",
     "PROFILES",
+    "SCALE_PROFILES",
     "SCHEMA",
     "STREAM_PROFILES",
+    "ScaleBenchProfile",
     "SpanStats",
     "StreamBenchProfile",
     "TimingDelta",
     "env_fingerprint",
     "load_bench",
     "run_bench",
+    "run_scale_bench",
     "run_stream_bench",
 ]

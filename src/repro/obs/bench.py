@@ -35,11 +35,14 @@ from repro.obs.metrics import NULL_METRICS, Metrics
 __all__ = [
     "BenchProfile",
     "PROFILES",
+    "SCALE_PROFILES",
     "SCHEMA",
     "STREAM_PROFILES",
+    "ScaleBenchProfile",
     "StreamBenchProfile",
     "env_fingerprint",
     "run_bench",
+    "run_scale_bench",
     "run_stream_bench",
 ]
 
@@ -481,6 +484,194 @@ def run_stream_bench(
         },
     }
     path = Path(output) if output is not None else Path("BENCH_stream.json")
+    path.parent.mkdir(parents=True, exist_ok=True)
+    path.write_text(json.dumps(payload, indent=2, sort_keys=True), encoding="utf-8")
+    return payload, path
+
+
+@dataclass(frozen=True)
+class ScaleBenchProfile:
+    """Scale knobs for ``repro-bgp bench --suite scale``.
+
+    The workload is the tentpole question of the array backend: how fast
+    is one single-origin convergence at (up to) the paper's full CAIDA
+    snapshot scale, reference kernel vs array kernel, on a CAIDA-format
+    fixture that flows through the real ``caida.py`` parser. ``origins``
+    convergences are timed per backend (summed; best of ``repeats``
+    passes), every timed state is checksum-compared across backends, and
+    ``hijacks`` attacker-on-top-of-baseline stackings cross-check the
+    non-fresh path too.
+    """
+
+    name: str
+    as_count: int
+    origins: int = 4
+    hijacks: int = 2
+    repeats: int = 3
+    seed: int = 2014
+
+
+# tiny: seconds-cheap, the per-PR CI gate (scale-smoke step); smoke: a
+# mid-scale local check; default: the paper's full 42,697-AS snapshot
+# scale — the profile behind the committed BENCH_scale.json baseline.
+SCALE_PROFILES: Mapping[str, ScaleBenchProfile] = {
+    "tiny": ScaleBenchProfile("tiny", as_count=4270),
+    "smoke": ScaleBenchProfile("smoke", as_count=12000),
+    "default": ScaleBenchProfile(
+        "default", as_count=42697, origins=6, hijacks=3, repeats=5
+    ),
+}
+
+
+def run_scale_bench(
+    profile: ScaleBenchProfile | str,
+    *,
+    output: str | Path | None = None,
+    metrics: Metrics | None = None,
+) -> tuple[dict[str, object], Path]:
+    """Benchmark reference vs array convergence and write ``BENCH_scale.json``.
+
+    Timed phases:
+
+    * ``fixture_s`` — generate the deterministic CAIDA-scale fixture
+      (:mod:`repro.topology.scalefixture`) and write it in CAIDA serial-1
+      format;
+    * ``parse_s`` — read it back through the real
+      :func:`repro.topology.caida.load_caida` parser and build the
+      routing view;
+    * ``compile_s`` — the array backend's one-time CSR compilation;
+    * ``converge_reference_s`` / ``converge_array_s`` — the same
+      ``origins`` single-origin convergences per backend (sum over
+      origins, best of ``repeats`` passes);
+    * ``hijack_reference_s`` / ``hijack_array_s`` — attacker
+      announcements stacked on a converged baseline (the non-fresh
+      state path).
+
+    Every timed convergence and hijack is checksum-compared between the
+    backends (``derived.checksums_consistent``); the headline ratio is
+    ``speedups.single_origin``.
+    """
+    import tempfile
+
+    from repro.bgp.engine import RoutingEngine
+    from repro.bgp.kernel import compile_view
+    from repro.bgp.policy import PolicyConfig
+    from repro.topology.caida import load_caida
+    from repro.topology.scalefixture import ScaleFixtureConfig, write_scale_fixture
+    from repro.topology.view import RoutingView
+    from repro.util.rng import make_rng
+
+    if isinstance(profile, str):
+        try:
+            profile = SCALE_PROFILES[profile]
+        except KeyError:
+            raise ValueError(
+                f"unknown scale bench profile {profile!r}; "
+                f"choices: {sorted(SCALE_PROFILES)}"
+            ) from None
+    metrics = metrics if metrics is not None else Metrics()
+    timings: dict[str, float] = {}
+    bench_start = time.perf_counter()
+
+    def timed(key: str):
+        return _PhaseTimer(key, timings, metrics)
+
+    fixture_config = (
+        ScaleFixtureConfig(seed=profile.seed)
+        if profile.as_count == 42_697
+        else ScaleFixtureConfig.scaled(profile.as_count, seed=profile.seed)
+    )
+    with tempfile.TemporaryDirectory(prefix="repro-scale-bench-") as tmp:
+        fixture_path = Path(tmp) / "scale-fixture.txt.gz"
+        with timed("fixture_s"):
+            write_scale_fixture(fixture_path, fixture_config)
+        with timed("parse_s"):
+            graph = load_caida(fixture_path)
+            view = RoutingView.from_graph(graph)
+
+    policy = PolicyConfig()
+    reference = RoutingEngine(view, policy, metrics=metrics)
+    with timed("compile_s"):
+        compile_view(view)
+    array = RoutingEngine(view, policy, metrics=metrics, backend="array")
+
+    rng = make_rng(profile.seed, "scale-bench")
+    nodes = len(view)
+    origins = sorted(rng.sample(range(nodes), profile.origins))
+
+    def time_backend(engine: RoutingEngine) -> tuple[float, list[str]]:
+        best = float("inf")
+        checksums: list[str] = []
+        for _ in range(profile.repeats):
+            states = []
+            start = time.perf_counter()
+            for origin in origins:
+                states.append(engine.converge(origin))
+            elapsed = time.perf_counter() - start
+            best = min(best, elapsed)
+            checksums = [state.checksum() for state in states]
+        return best, checksums
+
+    with timed("converge_reference_total_s"):
+        reference_s, reference_sums = time_backend(reference)
+    with timed("converge_array_total_s"):
+        array_s, array_sums = time_backend(array)
+    timings["converge_reference_s"] = reference_s
+    timings["converge_array_s"] = array_s
+    checksums_consistent = reference_sums == array_sums
+
+    # Hijack stacking exercises the non-fresh path: the attacker's
+    # announcement converges on top of a copied baseline state.
+    pairs = []
+    while len(pairs) < profile.hijacks:
+        target, attacker = rng.sample(range(nodes), 2)
+        pairs.append((target, attacker))
+
+    def time_hijacks(engine: RoutingEngine) -> tuple[float, list[str]]:
+        baselines = {target: engine.converge(target) for target, _ in pairs}
+        checksums = []
+        start = time.perf_counter()
+        for target, attacker in pairs:
+            result = engine.hijack(target, attacker, legitimate=baselines[target])
+            checksums.append(result.final.checksum())
+        return time.perf_counter() - start, checksums
+
+    with timed("hijack_reference_s"):
+        _, hijack_reference_sums = time_hijacks(reference)
+    with timed("hijack_array_s"):
+        _, hijack_array_sums = time_hijacks(array)
+    checksums_consistent = checksums_consistent and (
+        hijack_reference_sums == hijack_array_sums
+    )
+
+    timings["total_s"] = time.perf_counter() - bench_start
+    snapshot = metrics.snapshot()
+    payload: dict[str, object] = {
+        "schema": SCHEMA,
+        "name": f"scale-{profile.name}",
+        "created": time.strftime("%Y-%m-%dT%H:%M:%SZ", time.gmtime()),
+        "config": asdict(profile),
+        "env": env_fingerprint(),
+        "timings": timings,
+        "counters": snapshot["counters"],
+        "gauges": snapshot["gauges"],
+        "spans": snapshot["spans"],
+        "speedups": {
+            "single_origin": reference_s / max(array_s, 1e-9),
+            "hijack": timings["hijack_reference_s"]
+            / max(timings["hijack_array_s"], 1e-9),
+        },
+        "derived": {
+            "as_count": len(graph),
+            "links": graph.edge_count(),
+            "routing_nodes": nodes,
+            "origins_timed": profile.origins,
+            "reference_origin_s": reference_s / profile.origins,
+            "array_origin_s": array_s / profile.origins,
+            "checksums_consistent": checksums_consistent,
+        },
+    }
+    path = Path(output) if output is not None else Path("BENCH_scale.json")
     path.parent.mkdir(parents=True, exist_ok=True)
     path.write_text(json.dumps(payload, indent=2, sort_keys=True), encoding="utf-8")
     return payload, path

@@ -72,9 +72,20 @@ def _policy_digest(policy: PolicyConfig) -> str:
     return hashlib.blake2b("|".join(parts).encode(), digest_size=8).hexdigest()
 
 
-def context_digest(view: RoutingView, policy: PolicyConfig) -> str:
-    """The cache-key prefix identifying one (topology, policy) context."""
-    return f"{_view_digest(view)}:{_policy_digest(policy)}"
+def context_digest(
+    view: RoutingView, policy: PolicyConfig, backend: str = "reference"
+) -> str:
+    """The cache-key prefix identifying one (topology, policy, backend)
+    context.
+
+    The backend is part of the key even though both kernels are
+    checksum-identical by contract: a cached state must always be
+    attributable to the engine configuration that produced it, so a
+    backend regression can never hide behind a warm cache (a backend
+    switch is a cold start, by design — see the regression test in
+    ``tests/test_parallel_cache.py``).
+    """
+    return f"{_view_digest(view)}:{_policy_digest(policy)}:{backend}"
 
 
 @dataclass
@@ -161,7 +172,10 @@ class ConvergenceCache:
         check_cache_coherence(self)
 
     def contains(self, engine: RoutingEngine, origin: int) -> bool:
-        return (context_digest(engine.view, engine.policy), origin) in self._entries
+        return (
+            context_digest(engine.view, engine.policy, engine.backend),
+            origin,
+        ) in self._entries
 
     def baseline(self, engine: RoutingEngine, origin: int) -> RouteState:
         """The clean converged state for *origin* under *engine*'s context.
@@ -170,7 +184,7 @@ class ConvergenceCache:
         must be treated as immutable (run hijack passes *on top of* them
         via ``converge(..., base=state)``, which copies).
         """
-        key = (context_digest(engine.view, engine.policy), origin)
+        key = (context_digest(engine.view, engine.policy, engine.backend), origin)
         entry = self._entries.get(key)
         if entry is not None:
             state, inserted_checksum = entry

@@ -104,7 +104,12 @@ def full_converge(
     state: RouteState | None = None
     runner = engine
     if engine.validate:
-        runner = RoutingEngine(engine.view, engine.policy, metrics=engine.metrics)
+        runner = RoutingEngine(
+            engine.view,
+            engine.policy,
+            metrics=engine.metrics,
+            backend=engine.backend,
+        )
     for entry in entries:
         state = runner.converge(
             entry.origin,

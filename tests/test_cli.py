@@ -42,6 +42,22 @@ class TestCommands:
         output = capsys.readouterr().out
         assert "polluted ASes:" in output
 
+    def test_attack_backend_knob_changes_nothing(self, topo_file, capsys):
+        """--backend array must produce byte-identical command output —
+        the backend is a wall-clock knob, never a result knob."""
+        assert main(["attack", "--target", "300", "--attacker", "30",
+                     "-i", str(topo_file)]) == 0
+        reference_out = capsys.readouterr().out
+        assert main(["--backend", "array",
+                     "attack", "--target", "300", "--attacker", "30",
+                     "-i", str(topo_file)]) == 0
+        assert capsys.readouterr().out == reference_out
+
+    def test_backend_choices_enforced(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["--backend", "gpu", "attack",
+                                       "--target", "1", "--attacker", "2"])
+
     def test_attack_subprefix(self, topo_file, capsys):
         assert main(["attack", "--target", "300", "--attacker", "30",
                      "--subprefix", "-i", str(topo_file)]) == 0
@@ -151,6 +167,20 @@ class TestCommands:
         assert payload["name"] == "stream-tiny"
         assert payload["derived"]["checksums_consistent"] is True
         assert payload["speedups"]["stream_incremental"] > 0
+
+    def test_bench_scale_suite(self, tmp_path, capsys):
+        from repro.obs.compare import load_bench
+
+        path = tmp_path / "BENCH_scale.json"
+        assert main(["bench", "--suite", "scale", "--profile", "tiny",
+                     "-o", str(path)]) == 0
+        output = capsys.readouterr().out
+        assert "scale bench profile: tiny" in output
+        assert "single-origin convergence" in output
+        payload = load_bench(path)
+        assert payload["name"] == "scale-tiny"
+        assert payload["derived"]["checksums_consistent"] is True
+        assert payload["speedups"]["single_origin"] > 0
 
     def test_bench_writes_valid_bench_file(self, tmp_path, capsys):
         from repro.obs.compare import load_bench

@@ -1,0 +1,138 @@
+"""Unit tests for the flat-array convergence backend's plumbing.
+
+The checksum-equivalence *behaviour* is covered by the property battery
+(``tests/property/test_kernel_equivalence.py``) and the full-scale
+integration test; this file pins the plumbing around it: backend-knob
+validation, the per-view compile memo, the CSR layouts (including the
+fused valley-free export adjacency and its parallel kind codes), and the
+lazy re-exports on :mod:`repro.bgp`.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+import repro.bgp as bgp
+from repro.bgp.engine import RoutingEngine
+from repro.bgp.kernel import BACKENDS, compile_view, resolve_backend
+from repro.topology.view import RoutingView
+
+from tests.conftest import build_mini_graph
+
+
+class TestBackendKnob:
+    def test_backends_tuple(self):
+        assert BACKENDS == ("reference", "array")
+
+    def test_resolve_accepts_known(self):
+        for backend in BACKENDS:
+            assert resolve_backend(backend) == backend
+
+    def test_resolve_rejects_unknown(self):
+        with pytest.raises(ValueError, match="unknown convergence backend"):
+            resolve_backend("gpu")
+
+    def test_engine_rejects_unknown_backend(self, mini_view):
+        with pytest.raises(ValueError, match="unknown convergence backend"):
+            RoutingEngine(mini_view, backend="vectorised")
+
+    def test_engine_records_backend(self, mini_view):
+        assert RoutingEngine(mini_view).backend == "reference"
+        assert RoutingEngine(mini_view, backend="array").backend == "array"
+
+
+class TestCompileMemo:
+    def test_same_view_compiles_once(self, mini_view):
+        assert compile_view(mini_view) is compile_view(mini_view)
+
+    def test_distinct_views_compile_separately(self, mini_view):
+        rebuilt = RoutingView.from_graph(build_mini_graph())
+        assert compile_view(mini_view) is not compile_view(rebuilt)
+
+
+class TestCsrLayout:
+    @pytest.fixture
+    def compiled(self, mini_view):
+        return compile_view(mini_view)
+
+    def _slices(self, indptr, indices, node):
+        return indices[indptr[node] : indptr[node + 1]].tolist()
+
+    def test_per_kind_csr_matches_view_adjacency(self, mini_view, compiled):
+        for node in range(len(mini_view)):
+            assert (
+                self._slices(compiled.customer_indptr, compiled.customer_indices, node)
+                == list(mini_view.customers[node])
+            )
+            assert (
+                self._slices(compiled.peer_indptr, compiled.peer_indices, node)
+                == list(mini_view.peers[node])
+            )
+            assert (
+                self._slices(compiled.provider_indptr, compiled.provider_indices, node)
+                == list(mini_view.providers[node])
+            )
+
+    def test_fused_export_csr_is_providers_peers_customers(self, mini_view, compiled):
+        """The fused adjacency concatenates providers|peers|customers per
+        node with parallel kind codes 0|1|2 — the layout the hot-path
+        single-gather export depends on."""
+        for node in range(len(mini_view)):
+            lo, hi = compiled.export_indptr[node], compiled.export_indptr[node + 1]
+            targets = compiled.export_indices[lo:hi].tolist()
+            kinds = compiled.export_kinds[lo:hi].tolist()
+            providers = list(mini_view.providers[node])
+            peers = list(mini_view.peers[node])
+            customers = list(mini_view.customers[node])
+            assert targets == providers + peers + customers
+            assert kinds == [0] * len(providers) + [1] * len(peers) + [2] * len(
+                customers
+            )
+
+    def test_tier1_flags_mirror_view(self, mini_view, compiled):
+        assert compiled.is_tier1.tolist() == list(mini_view.is_tier1)
+
+    def test_gather_concatenates_in_node_order(self, compiled):
+        nodes = np.array([2, 0, 2], dtype=np.int32)
+        positions, senders = compiled.gather(compiled.customer_indptr, nodes)
+        expected_positions = []
+        expected_senders = []
+        for node in nodes:
+            lo, hi = compiled.customer_indptr[node], compiled.customer_indptr[node + 1]
+            expected_positions.extend(range(int(lo), int(hi)))
+            expected_senders.extend([int(node)] * int(hi - lo))
+        assert positions.tolist() == expected_positions
+        assert senders.tolist() == expected_senders
+
+
+class TestLazyExports:
+    def test_kernel_names_reachable_via_package(self):
+        assert bgp.BACKENDS == BACKENDS
+        assert bgp.resolve_backend("array") == "array"
+        assert bgp.compile_view is compile_view
+
+    def test_unknown_attribute_still_raises(self):
+        with pytest.raises(AttributeError, match="has no attribute"):
+            bgp.no_such_name
+
+
+class TestMiniConvergence:
+    """Cheap end-to-end smoke on the hand-verifiable topology — the heavy
+    equivalence coverage lives in the property battery."""
+
+    @pytest.mark.parametrize("filter_first_hop", [False, True])
+    def test_blocked_and_filtered_paths_match_reference(
+        self, mini_view, filter_first_hop
+    ):
+        reference = RoutingEngine(mini_view)
+        array = RoutingEngine(mini_view, backend="array")
+        origin = mini_view.node_of(50)  # a stub, so the filter engages
+        blocked = frozenset({mini_view.node_of(40)})
+        ref = reference.converge(
+            origin, blocked=blocked, filter_first_hop_providers=filter_first_hop
+        )
+        arr = array.converge(
+            origin, blocked=blocked, filter_first_hop_providers=filter_first_hop
+        )
+        assert ref.checksum() == arr.checksum()

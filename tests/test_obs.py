@@ -14,6 +14,7 @@ from repro.attacks.lab import HijackLab
 from repro.obs import (
     NULL_METRICS,
     PROFILES,
+    SCALE_PROFILES,
     SCHEMA,
     Metrics,
     NullMetrics,
@@ -21,6 +22,7 @@ from repro.obs import (
     STREAM_PROFILES,
     env_fingerprint,
     run_bench,
+    run_scale_bench,
     run_stream_bench,
 )
 from repro.obs.compare import (
@@ -252,6 +254,51 @@ class TestStreamBench:
     def test_unknown_profile_rejected(self):
         with pytest.raises(ValueError, match="unknown stream bench profile"):
             run_stream_bench("nope")
+
+
+class TestScaleBench:
+    @pytest.fixture(scope="class")
+    def tiny_payload(self, tmp_path_factory):
+        path = tmp_path_factory.mktemp("bench") / "BENCH_scale.json"
+        payload, written = run_scale_bench("tiny", output=path)
+        assert written == path
+        return payload
+
+    def test_schema_snapshot(self, tiny_payload):
+        assert tiny_payload["schema"] == SCHEMA
+        assert set(tiny_payload) == {
+            "schema", "name", "created", "config", "env",
+            "timings", "counters", "gauges", "spans", "speedups", "derived",
+        }
+        # The keys the scale-smoke CI gate diffs by name.
+        assert set(tiny_payload["timings"]) >= {
+            "fixture_s", "parse_s", "compile_s",
+            "converge_reference_s", "converge_array_s",
+            "hijack_reference_s", "hijack_array_s", "total_s",
+        }
+        assert set(tiny_payload["speedups"]) == {"single_origin", "hijack"}
+
+    def test_name_carries_profile(self, tiny_payload):
+        assert tiny_payload["name"] == "scale-tiny"
+        assert tiny_payload["config"]["as_count"] == SCALE_PROFILES["tiny"].as_count
+
+    def test_backends_agree_and_speedups_recorded(self, tiny_payload):
+        """The bench cross-checks every timed convergence and hijack
+        between the backends; a divergence would land here first."""
+        assert tiny_payload["derived"]["checksums_consistent"] is True
+        assert tiny_payload["speedups"]["single_origin"] > 0
+        assert tiny_payload["speedups"]["hijack"] > 0
+        assert tiny_payload["derived"]["as_count"] == SCALE_PROFILES["tiny"].as_count
+        assert tiny_payload["derived"]["links"] > 0
+
+    def test_round_trips_through_load_bench(self, tmp_path):
+        payload, path = run_scale_bench("tiny", output=tmp_path / "s.json")
+        assert load_bench(path)["name"] == "scale-tiny"
+        assert json.loads(path.read_text()) == json.loads(json.dumps(payload))
+
+    def test_unknown_profile_rejected(self):
+        with pytest.raises(ValueError, match="unknown scale bench profile"):
+            run_scale_bench("nope")
 
 
 def _payload(name="smoke", **timings):

@@ -73,6 +73,29 @@ class TestKeying:
             mini_view, PolicyConfig(max_generations=3)
         )
 
+    def test_backend_switch_is_a_cold_miss(self, mini_view):
+        """Regression: the cache key must include the engine's backend
+        knob. Entries are shared *objects*; handing an array-backend
+        engine a state computed by a reference-backend engine (or vice
+        versa) would mask any divergence between the kernels — each
+        backend must converge its own baseline so the checksum
+        equivalence battery actually compares independent computations."""
+        cache = ConvergenceCache()
+        reference = RoutingEngine(mini_view)
+        array = RoutingEngine(mini_view, backend="array")
+        ref_state = cache.baseline(reference, 0)
+        assert cache.contains(array, 0) is False
+        arr_state = cache.baseline(array, 0)
+        assert arr_state is not ref_state
+        assert cache.stats.misses == 2 and cache.stats.hits == 0
+        assert len(cache) == 2
+        # Same content regardless — the backend contract — but through
+        # two distinct entries.
+        assert ref_state.checksum() == arr_state.checksum()
+        assert context_digest(mini_view, PolicyConfig()) != context_digest(
+            mini_view, PolicyConfig(), "array"
+        )
+
     def test_equal_views_share_entries_across_engines(self, mini_view):
         """Two separately compiled views of the same graph hit one entry."""
         cache = ConvergenceCache()
