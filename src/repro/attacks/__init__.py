@@ -8,7 +8,13 @@ from repro.attacks.dataplane import (
     trace_forwarding,
 )
 from repro.attacks.lab import HijackLab
-from repro.attacks.scenario import AttackOutcome, HijackKind, HijackScenario
+from repro.attacks.scenario import (
+    AttackOutcome,
+    HijackKind,
+    HijackScenario,
+    PathKind,
+    synthetic_forged_path,
+)
 
 __all__ = [
     "AttackOutcome",
@@ -18,6 +24,8 @@ __all__ = [
     "HijackKind",
     "HijackLab",
     "HijackScenario",
+    "PathKind",
     "dataplane_capture",
+    "synthetic_forged_path",
     "trace_forwarding",
 ]

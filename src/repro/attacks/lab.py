@@ -21,7 +21,13 @@ from __future__ import annotations
 
 from typing import Iterable, Sequence
 
-from repro.attacks.scenario import AttackOutcome, HijackKind, HijackScenario
+from repro.attacks.scenario import (
+    AttackOutcome,
+    HijackKind,
+    HijackScenario,
+    PathKind,
+    synthetic_forged_path,
+)
 from repro.bgp.engine import RouteState, RoutingEngine
 from repro.bgp.policy import PolicyConfig
 from repro.bgp.simulator import BGPSimulator, PropagationReport
@@ -126,6 +132,36 @@ class HijackLab:
         its providers (the attack can still leak through peer links)."""
         return self.defense.stub_filter and not self.graph.customers(attacker_asn)
 
+    def claimed_path(self, scenario: HijackScenario) -> tuple[int, ...] | None:
+        """The AS path the bogus announcement carries, claimed origin last.
+
+        Forged claims (type-0/1/N) are static properties of the scenario.
+        A type-U replay and a route leak reuse the path the attacker
+        *actually learned* — resolved here against the target's cached
+        legitimate state: the replayed tail is the attacker's received
+        AS path (the attacker itself absent, as on the wire), and a leak
+        is that same path with the leaker prepended. Returns ``None``
+        when the attacker holds no route to reuse — the attack never
+        launches.
+        """
+        static = scenario.static_claimed_path
+        if static is not None:
+            return static
+        view = self.view
+        target_node = view.node_of(scenario.target_asn)
+        attacker_node = view.node_of(scenario.attacker_asn)
+        legit = self._legitimate_state(target_node)
+        if not legit.has_route(attacker_node):
+            return None
+        chain = legit.path_from(attacker_node)
+        tail = tuple(
+            scenario.target_asn if node == target_node else view.asn_of(node)
+            for node in chain
+        )
+        if scenario.kind is HijackKind.ROUTE_LEAK:
+            return (scenario.attacker_asn, *tail)
+        return tail
+
     def run_scenario(self, scenario: HijackScenario) -> AttackOutcome:
         """Execute one scenario synchronously in this process.
 
@@ -141,35 +177,46 @@ class HijackLab:
                 "attacker and target collapse into one routing node "
                 f"(sibling group) for AS{scenario.attacker_asn}/AS{scenario.target_asn}"
             )
+        claimed = self.claimed_path(scenario)
+        if claimed is None:
+            # Nothing to replay/leak: the attack fizzles before launch.
+            empty: frozenset[int] = frozenset()
+            return AttackOutcome(
+                scenario=scenario,
+                polluted_asns=empty,
+                blocked_asns=empty,
+                address_fraction=self.plan.fraction_owned(empty),
+                claimed_path=None,
+            )
         blocked = self.defense.blocking_nodes(
-            view, scenario.prefix, scenario.attacker_asn
+            view, scenario.prefix, scenario.attacker_asn, claimed_path=claimed
         )
         first_hop = self._first_hop_filtered(scenario.attacker_asn)
-        if scenario.kind is HijackKind.ORIGIN:
-            result = self.engine.hijack(
-                target_node,
-                attacker_node,
-                legitimate=self._legitimate_state(target_node),
-                blocked=blocked,
-                filter_first_hop_providers=first_hop,
-            )
-            polluted_nodes = result.polluted_nodes
+        if scenario.kind in (HijackKind.ORIGIN, HijackKind.ROUTE_LEAK):
+            # The bogus announcement competes with the legitimate route
+            # for the same NLRI.
+            base = self._legitimate_state(target_node)
         else:
-            # A sub-prefix is a brand-new NLRI: no legitimate competitor
-            # exists, so the bogus announcement converges on a clean state
-            # and wins everywhere it reaches. Only blocking can contain it.
-            state = self.engine.converge(
-                attacker_node,
-                blocked=blocked,
-                filter_first_hop_providers=first_hop,
-            )
-            polluted_nodes = state.holders_of(attacker_node)
+            # A sub-prefix or squatted block is a brand-new NLRI: no
+            # legitimate competitor exists, so the bogus announcement
+            # converges on a clean state and wins everywhere it reaches.
+            # Only blocking can contain it.
+            base = None
+        state = self.engine.converge(
+            attacker_node,
+            base=base,
+            blocked=blocked,
+            filter_first_hop_providers=first_hop,
+            origin_length=len(claimed) - 1,
+        )
+        polluted_nodes = state.holders_of(attacker_node)
         polluted_asns = view.expand(polluted_nodes) - {scenario.attacker_asn}
         return AttackOutcome(
             scenario=scenario,
             polluted_asns=polluted_asns,
             blocked_asns=view.expand(blocked),
             address_fraction=self.plan.fraction_owned(polluted_asns),
+            claimed_path=claimed,
         )
 
     def run_scenarios(
@@ -191,6 +238,52 @@ class HijackLab:
     def target_prefix(self, target_asn: int) -> Prefix:
         """The target's primary (largest) allocated prefix."""
         return self.plan.primary_prefix(target_asn)
+
+    def attack_prefix(self, target_asn: int, kind: HijackKind) -> Prefix:
+        """The prefix a *kind* attack on *target_asn* announces.
+
+        Exact-prefix kinds (origin, route-leak) use the primary prefix;
+        a sub-prefix hijack announces its first half; a squat announces
+        the *last* half — modelling the allocated-but-unrouted slice the
+        target never originates (ARTEMIS's squatting definition).
+        """
+        parent = self.target_prefix(target_asn)
+        if kind in (HijackKind.ORIGIN, HijackKind.ROUTE_LEAK):
+            return parent
+        if parent.length + 1 > 32:
+            raise ValueError(f"cannot split /{parent.length} for a {kind.value}")
+        halves = list(parent.subnets(parent.length + 1))
+        return halves[0] if kind is HijackKind.SUBPREFIX else halves[-1]
+
+    def build_scenario(
+        self,
+        target_asn: int,
+        attacker_asn: int,
+        *,
+        kind: HijackKind = HijackKind.ORIGIN,
+        path_kind: PathKind = PathKind.TYPE_0,
+        forged_depth: int = 1,
+        forged_path: tuple[int, ...] | None = None,
+        prefix: Prefix | None = None,
+    ) -> HijackScenario:
+        """Assemble one grid-cell scenario with the lab's address plan.
+
+        For type-N without an explicit *forged_path* the claim is padded
+        with private-use ASNs to *forged_depth* hops
+        (:func:`~repro.attacks.scenario.synthetic_forged_path`).
+        """
+        if forged_path is None and path_kind is PathKind.TYPE_N:
+            forged_path = synthetic_forged_path(
+                attacker_asn, target_asn, forged_depth
+            )
+        return HijackScenario(
+            target_asn=target_asn,
+            attacker_asn=attacker_asn,
+            prefix=prefix if prefix is not None else self.attack_prefix(target_asn, kind),
+            kind=kind,
+            path_kind=path_kind,
+            forged_path=forged_path if forged_path is not None else (),
+        )
 
     def origin_hijack(
         self, target_asn: int, attacker_asn: int, *, prefix: Prefix | None = None
@@ -224,6 +317,42 @@ class HijackLab:
         )
         return self.run_scenario(scenario)
 
+    def squat_hijack(self, target_asn: int, attacker_asn: int) -> AttackOutcome:
+        """Simulate the attacker squatting the target's unrouted slice."""
+        return self.run_scenario(
+            self.build_scenario(target_asn, attacker_asn, kind=HijackKind.SQUAT)
+        )
+
+    def route_leak(self, target_asn: int, attacker_asn: int) -> AttackOutcome:
+        """Simulate the attacker leaking its learned route to the target."""
+        return self.run_scenario(
+            self.build_scenario(
+                target_asn, attacker_asn, kind=HijackKind.ROUTE_LEAK
+            )
+        )
+
+    def forged_path_hijack(
+        self,
+        target_asn: int,
+        attacker_asn: int,
+        *,
+        kind: HijackKind = HijackKind.ORIGIN,
+        depth: int = 1,
+        forged_path: tuple[int, ...] | None = None,
+    ) -> AttackOutcome:
+        """Simulate a path-forgery attack (type-1 at depth 1, else type-N)."""
+        path_kind = PathKind.TYPE_1 if depth == 1 and forged_path is None else PathKind.TYPE_N
+        return self.run_scenario(
+            self.build_scenario(
+                target_asn,
+                attacker_asn,
+                kind=kind,
+                path_kind=path_kind,
+                forged_depth=depth,
+                forged_path=forged_path,
+            )
+        )
+
     # -- sweeps -------------------------------------------------------------------------
 
     def attacker_pool(self, *, transit_only: bool = False) -> tuple[int, ...]:
@@ -242,6 +371,9 @@ class HijackLab:
         sample: int | None = None,
         seed: int | None = None,
         workers: int | None = None,
+        kind: HijackKind = HijackKind.ORIGIN,
+        path_kind: PathKind = PathKind.TYPE_0,
+        forged_depth: int = 1,
     ) -> dict[int, AttackOutcome]:
         """Attack one target from many attackers; the Fig. 2–6 workload.
 
@@ -250,7 +382,9 @@ class HijackLab:
         benchmark harness uses it to keep wall-clock in check at identical
         curve shapes. ``workers`` overrides the lab's worker count for this
         sweep; outcome values are identical either way, keyed and ordered
-        by attacker ASN.
+        by attacker ASN. ``kind``/``path_kind``/``forged_depth`` select
+        the attack-grid cell to sweep (default: the paper's type-0 origin
+        hijack, byte-identical to the pre-taxonomy sweep).
         """
         if attackers is None:
             pool: Sequence[int] = self.attacker_pool(transit_only=transit_only)
@@ -265,13 +399,15 @@ class HijackLab:
         if sample is not None and sample < len(pool):
             rng = make_rng(self.seed if seed is None else seed, "sweep", target_asn)
             pool = tuple(sorted(rng.sample(pool, sample)))
-        prefix = self.target_prefix(target_asn)
+        prefix = self.attack_prefix(target_asn, kind)
         scenarios = [
-            HijackScenario(
-                target_asn=target_asn,
-                attacker_asn=attacker_asn,
+            self.build_scenario(
+                target_asn,
+                attacker_asn,
+                kind=kind,
+                path_kind=path_kind,
+                forged_depth=forged_depth,
                 prefix=prefix,
-                kind=HijackKind.ORIGIN,
             )
             for attacker_asn in pool
         ]

@@ -217,6 +217,7 @@ class RoutingEngine:
         base: RouteState | None = None,
         blocked: Collection[int] = (),
         filter_first_hop_providers: bool = False,
+        origin_length: int = 0,
     ) -> RouteState:
         """Propagate an announcement from *origin* to the stable state.
 
@@ -226,6 +227,11 @@ class RoutingEngine:
         announcement entirely (prefix filters / ROV). With
         ``filter_first_hop_providers`` the origin's providers drop its
         direct announcement — the defensive stub filter of Section IV.
+        ``origin_length`` pads the announced AS path: a path-forgery
+        attack (type-1/type-N) or a route leak claims a path of that many
+        hops behind the announcer, so its first receivers install at
+        ``origin_length + 1`` and compete on that longer length — the
+        honest default 0 is the plain one-hop origination.
         """
         n = len(self.view)
         state = base.copy_for(origin) if base is not None else RouteState.empty(n, origin)
@@ -237,6 +243,7 @@ class RoutingEngine:
             filter_first_hop_providers,
             journal=None,
             fresh=base is None,
+            origin_length=origin_length,
         )
         if self.validate:
             # Imported lazily: the oracle package imports this module.
@@ -248,6 +255,7 @@ class RoutingEngine:
                 policy=self.policy,
                 blocked=blocked_set,
                 first_hop_filtered=filter_first_hop_providers,
+                origin_lengths={origin: origin_length} if origin_length else None,
             )
         return state
 
@@ -258,6 +266,7 @@ class RoutingEngine:
         *,
         blocked: Collection[int] = (),
         filter_first_hop_providers: bool = False,
+        origin_length: int = 0,
     ) -> "ConvergenceDelta":
         """Apply *origin*'s announcement to *state* in place — the
         frontier re-propagation hook behind :mod:`repro.stream`.
@@ -290,7 +299,8 @@ class RoutingEngine:
         state.origin = origin
         blocked_set = frozenset(blocked)
         self._propagate(
-            state, origin, blocked_set, filter_first_hop_providers, journal=journal
+            state, origin, blocked_set, filter_first_hop_providers, journal=journal,
+            origin_length=origin_length,
         )
         return ConvergenceDelta(
             origin=origin,
@@ -298,6 +308,7 @@ class RoutingEngine:
             blocked=blocked_set,
             first_hop_filtered=filter_first_hop_providers,
             journal=journal,
+            origin_length=origin_length,
         )
 
     def _propagate(
@@ -308,6 +319,7 @@ class RoutingEngine:
         filter_first_hop_providers: bool,
         journal: list[tuple[int, int, int, int, int]] | None,
         fresh: bool = False,
+        origin_length: int = 0,
     ) -> None:
         """The propagation kernel dispatcher.
 
@@ -331,11 +343,13 @@ class RoutingEngine:
                 self.policy.tier1_shortest_path,
                 journal,
                 fresh,
+                origin_length,
             )
             self._emit_convergence_metrics(messages, installs, replaced, rounds)
             return
         self._propagate_reference(
-            state, origin, blocked_set, filter_first_hop_providers, journal
+            state, origin, blocked_set, filter_first_hop_providers, journal,
+            origin_length,
         )
 
     def _propagate_reference(
@@ -345,6 +359,7 @@ class RoutingEngine:
         blocked_set: frozenset[int],
         filter_first_hop_providers: bool,
         journal: list[tuple[int, int, int, int, int]] | None,
+        origin_length: int = 0,
     ) -> None:
         """The pure-Python bucket-queue propagation kernel."""
         view = self.view
@@ -361,7 +376,7 @@ class RoutingEngine:
                 (origin, cls[origin], length[origin], parent[origin], origin_of[origin])
             )
         cls[origin] = _CLASS_ORIGIN
-        length[origin] = 0
+        length[origin] = origin_length
         parent[origin] = -1
         origin_of[origin] = origin
 
@@ -389,15 +404,16 @@ class RoutingEngine:
             for customer in view.customers[node]:
                 push(customer, _CLASS_PROVIDER, next_length, node)
 
-        # Initial exports from the origin.
+        # Initial exports from the origin, one hop past the claimed path.
+        first_hop_length = origin_length + 1
         origin_is_stub = not view.customers[origin]
         if not (filter_first_hop_providers and origin_is_stub):
             for provider in view.providers[origin]:
-                push(provider, _CLASS_CUSTOMER, 1, origin)
+                push(provider, _CLASS_CUSTOMER, first_hop_length, origin)
         for peer in view.peers[origin]:
-            push(peer, _CLASS_PEER, 1, origin)
+            push(peer, _CLASS_PEER, first_hop_length, origin)
         for customer in view.customers[origin]:
-            push(customer, _CLASS_PROVIDER, 1, origin)
+            push(customer, _CLASS_PROVIDER, first_hop_length, origin)
 
         installs = 0
         replaced = 0
@@ -503,7 +519,8 @@ class ConvergenceDelta:
     :meth:`revert` replays the journal *backwards*. ``blocked`` and
     ``first_hop_filtered`` are the pass parameters captured at announce
     time; an exact re-application (after rewinding past this entry) must
-    reuse them, not the current defense state.
+    reuse them, not the current defense state. ``origin_length`` is the
+    claimed-path padding of the pass (0 for an honest origination).
     """
 
     origin: int
@@ -511,6 +528,7 @@ class ConvergenceDelta:
     blocked: frozenset[int]
     first_hop_filtered: bool
     journal: list[tuple[int, int, int, int, int]] = field(repr=False)
+    origin_length: int = 0
 
     @property
     def touched(self) -> int:

@@ -233,6 +233,7 @@ def propagate_array(
     tier1_shortest: bool,
     journal: list[tuple[int, int, int, int, int]] | None,
     fresh: bool = False,
+    origin_length: int = 0,
 ) -> tuple[int, int, int, int]:
     """Run one announcement pass over *state* with bulk array operations.
 
@@ -281,7 +282,7 @@ def propagate_array(
                 int(origin_of[origin]),
             )
         )
-    key[origin] = (_CLASS_ORIGIN << _LEN_BITS) | 0
+    key[origin] = (_CLASS_ORIGIN << _LEN_BITS) | origin_length
     parent[origin] = -1
     origin_of[origin] = origin
 
@@ -328,23 +329,26 @@ def propagate_array(
     origin_is_stub = (
         topology.customer_indptr[origin + 1] == topology.customer_indptr[origin]
     )
+    # Claimed-path padding: first receivers install one hop past the
+    # announced path length, exactly as in the reference kernel.
+    first_hop_length = origin_length + 1
     if filter_first_hop_providers and origin_is_stub:
         push(
-            1,
+            first_hop_length,
             1,
             *topology.neighbors(
                 topology.peer_indptr, topology.peer_indices, origin_arr
             ),
         )
         push(
-            1,
+            first_hop_length,
             2,
             *topology.neighbors(
                 topology.customer_indptr, topology.customer_indices, origin_arr
             ),
         )
     else:
-        push_exports(origin_arr, _CLASS_ORIGIN, 1)
+        push_exports(origin_arr, _CLASS_ORIGIN, first_hop_length)
 
     messages = 0
     installs = 0

@@ -4,8 +4,9 @@ Subcommands cover the everyday workflows:
 
 * ``generate``  — emit a calibrated synthetic topology in CAIDA format
 * ``summarize`` — headline statistics of a topology file
-* ``attack``    — simulate one origin hijack and print the outcome
-* ``sweep``     — vulnerability profile of one target
+* ``attack``    — simulate one attack (any grid cell: ``--kind``
+  origin/subprefix/squat/route-leak × ``--path-kind`` type-0/1/n/u)
+* ``sweep``     — vulnerability profile of one target (same grid knobs)
 * ``figure``    — regenerate a paper figure/table (or ``all``)
 * ``plan``      — run the Section VII self-interest playbook for a region
 * ``validate``  — run the differential oracle + invariant suite
@@ -52,8 +53,11 @@ __all__ = ["main", "build_parser"]
 _EXPERIMENTS = (
     "fig1", "fig2", "fig3", "fig4", "fig5", "fig6", "fig7",
     "tab1", "tab2", "tab3", "tab4", "tab5", "nz_rehoming", "nz_filter",
-    "ext_subprefix",
+    "ext_subprefix", "attack_matrix",
 )
+
+_KIND_CHOICES = ("origin", "subprefix", "squat", "route-leak")
+_PATH_KIND_CHOICES = ("type-0", "type-1", "type-n", "type-u")
 
 
 def build_parser() -> argparse.ArgumentParser:
@@ -87,7 +91,15 @@ def build_parser() -> argparse.ArgumentParser:
     attack.add_argument("--attacker", type=int, required=True)
     attack.add_argument("-i", "--input", type=Path)
     attack.add_argument("--as-count", type=int, default=4270)
-    attack.add_argument("--subprefix", action="store_true", help="announce a more-specific instead")
+    attack.add_argument("--subprefix", action="store_true",
+                        help="announce a more-specific instead (same as --kind subprefix)")
+    attack.add_argument("--kind", choices=_KIND_CHOICES, default=None,
+                        help="prefix axis of the attack grid (default: origin)")
+    attack.add_argument("--path-kind", choices=_PATH_KIND_CHOICES, default="type-0",
+                        help="path axis: forged first hop (type-1), deep forgery "
+                             "(type-n), unmodified replay (type-u)")
+    attack.add_argument("--forged-depth", type=int, default=1,
+                        help="forged-path depth for --path-kind type-n")
     attack.add_argument("--validate", action="store_true",
                         help="run the invariant checker on every convergence")
 
@@ -97,6 +109,12 @@ def build_parser() -> argparse.ArgumentParser:
     sweep.add_argument("--as-count", type=int, default=4270)
     sweep.add_argument("--sample", type=int, default=None, help="attacker sample size")
     sweep.add_argument("--transit-only", action="store_true")
+    sweep.add_argument("--kind", choices=_KIND_CHOICES, default="origin",
+                       help="prefix axis of the attack grid")
+    sweep.add_argument("--path-kind", choices=_PATH_KIND_CHOICES, default="type-0",
+                       help="path axis of the attack grid")
+    sweep.add_argument("--forged-depth", type=int, default=1,
+                       help="forged-path depth for --path-kind type-n")
     sweep.add_argument("--validate", action="store_true",
                        help="run the invariant checker on every convergence")
 
@@ -231,16 +249,34 @@ def _cmd_summarize(args: argparse.Namespace) -> int:
 
 
 def _cmd_attack(args: argparse.Namespace) -> int:
+    from repro.attacks.scenario import HijackKind, PathKind
+
     lab = HijackLab(
         _topology(args), seed=args.seed, validate=args.validate,
         metrics=_metrics(args), backend=args.backend,
     )
-    if args.subprefix:
-        outcome = lab.subprefix_hijack(args.target, args.attacker)
+    kind_name = args.kind or ("subprefix" if args.subprefix else "origin")
+    scenario = lab.build_scenario(
+        args.target,
+        args.attacker,
+        kind=HijackKind(kind_name),
+        path_kind=PathKind(args.path_kind),
+        forged_depth=args.forged_depth,
+    )
+    outcome = lab.run_scenario(scenario)
+    if scenario.kind is HijackKind.ROUTE_LEAK:
+        label = "route-leak"
+    elif scenario.path_kind is PathKind.TYPE_0:
+        label = f"{scenario.kind.value} hijack"
     else:
-        outcome = lab.origin_hijack(args.target, args.attacker)
-    print(f"{outcome.scenario.kind.value} hijack of {outcome.scenario.prefix} "
+        label = f"{scenario.kind.value} {scenario.path_kind.value} hijack"
+    print(f"{label} of {scenario.prefix} "
           f"(AS{args.target}) by AS{args.attacker}")
+    if outcome.claimed_path is None:
+        print("attack fizzled: the attacker holds no route to replay")
+        return 0
+    if len(outcome.claimed_path) > 1:
+        print("claimed AS path: " + " ".join(str(asn) for asn in outcome.claimed_path))
     print(f"polluted ASes: {outcome.pollution_count}")
     if outcome.address_fraction is not None:
         print(f"address space polluted: {outcome.address_fraction:.1%}")
@@ -252,12 +288,16 @@ def _cmd_sweep(args: argparse.Namespace) -> int:
         _topology(args), seed=args.seed, validate=args.validate,
         metrics=_metrics(args), backend=args.backend,
     )
+    from repro.attacks.scenario import HijackKind, PathKind
+
     profile = profile_target(
-        lab, args.target, transit_only=args.transit_only, sample=args.sample
+        lab, args.target, transit_only=args.transit_only, sample=args.sample,
+        kind=HijackKind(args.kind), path_kind=PathKind(args.path_kind),
+        forged_depth=args.forged_depth,
     )
     stats = profile.summary
-    print(f"target AS{args.target}: {stats.count} attacks, "
-          f"{stats.successful} successful")
+    print(f"target AS{args.target}: {stats.count} {args.kind}/{args.path_kind} "
+          f"attacks, {stats.successful} successful")
     print(f"mean pollution {stats.mean:.0f}, mean (successful) "
           f"{stats.mean_successful:.0f}, max {stats.maximum}")
     rows = [(x, y) for x, y in profile.curve.points()][:: max(1, len(profile.curve.points()) // 12)]

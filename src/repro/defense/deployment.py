@@ -28,6 +28,7 @@ from repro.bgp.routes import Route
 from repro.defense.strategies import DeploymentStrategy, no_deployment
 from repro.prefixes.addressing import AddressPlan
 from repro.prefixes.prefix import Prefix
+from repro.registry.neighbors import NeighborRegistry
 from repro.registry.roa import OriginAuthority, ValidationState
 from repro.topology.view import RoutingView
 
@@ -49,12 +50,21 @@ class FilterRule:
 
 @dataclass
 class Defense:
-    """A complete defensive configuration for hijack experiments."""
+    """A complete defensive configuration for hijack experiments.
+
+    ``neighbors`` plus ``path_check=True`` arms deployers with
+    ARTEMIS-style first-hop verification: an announcement whose claimed
+    path ends in a hop the origin's published neighbor set rules out is
+    dropped at every deployer — the filter that closes ROV's type-1
+    blind spot (see ``docs/attacks.md``).
+    """
 
     strategy: DeploymentStrategy = field(default_factory=no_deployment)
     authority: OriginAuthority | None = None
     manual_filters: tuple[FilterRule, ...] = ()
     stub_filter: bool = False
+    neighbors: NeighborRegistry | None = None
+    path_check: bool = False
 
     def with_filters(self, *rules: FilterRule) -> "Defense":
         return Defense(
@@ -62,6 +72,8 @@ class Defense:
             authority=self.authority,
             manual_filters=(*self.manual_filters, *rules),
             stub_filter=self.stub_filter,
+            neighbors=self.neighbors,
+            path_check=self.path_check,
         )
 
     # -- scenario-level blocking decisions -------------------------------------
@@ -72,23 +84,51 @@ class Defense:
             return False
         return self.authority.validate(prefix, origin_asn) is ValidationState.INVALID
 
-    def blocking_asns(self, prefix: Prefix, origin_asn: int) -> frozenset[int]:
-        """Every AS that drops the announcement for (*prefix*, *origin*)."""
+    def blocking_asns(
+        self,
+        prefix: Prefix,
+        origin_asn: int,
+        *,
+        claimed_path: tuple[int, ...] | None = None,
+    ) -> frozenset[int]:
+        """Every AS that drops the announcement for (*prefix*, *origin*).
+
+        Validation judges the *claimed* origin when a ``claimed_path``
+        (claimed origin last) is given — a type-1/type-N forgery names
+        the legitimate origin precisely so ROV validates it; without a
+        path the announcer *is* the claimed origin, the pre-taxonomy
+        behavior.
+        """
+        claimed_origin = claimed_path[-1] if claimed_path else origin_asn
         blockers: set[int] = set()
-        if self.is_blockable(prefix, origin_asn):
+        if self.is_blockable(prefix, claimed_origin):
+            blockers.update(self.strategy.deployers)
+        if (
+            self.path_check
+            and self.neighbors is not None
+            and claimed_path is not None
+            and self.neighbors.first_hop_forged(claimed_path)
+        ):
             blockers.update(self.strategy.deployers)
         for rule in self.manual_filters:
-            if rule.rejects(prefix, origin_asn):
+            if rule.rejects(prefix, claimed_origin):
                 blockers.add(rule.filtering_asn)
         return frozenset(blockers)
 
     def blocking_nodes(
-        self, view: RoutingView, prefix: Prefix, origin_asn: int
+        self,
+        view: RoutingView,
+        prefix: Prefix,
+        origin_asn: int,
+        *,
+        claimed_path: tuple[int, ...] | None = None,
     ) -> frozenset[int]:
         """The same set, as routing-node indices for the fast engine."""
         return frozenset(
             view.node_of(asn)
-            for asn in self.blocking_asns(prefix, origin_asn)
+            for asn in self.blocking_asns(
+                prefix, origin_asn, claimed_path=claimed_path
+            )
             if view.has_asn(asn)
         )
 

@@ -20,6 +20,14 @@ from repro.detection.probes import (
     tier1_probes,
     top_degree_probes,
 )
+from repro.detection.taxonomy import (
+    PathObservation,
+    classify_observations,
+    customer_cone,
+    grid_cells,
+    leak_suspect,
+    nonexistent_links,
+)
 
 __all__ = [
     "DetectionReport",
@@ -27,9 +35,15 @@ __all__ = [
     "HijackDetector",
     "MoasReport",
     "MoasVerdict",
+    "PathObservation",
     "ProbeSet",
     "anycast_state",
     "classify_moas",
+    "classify_observations",
+    "customer_cone",
+    "grid_cells",
+    "leak_suspect",
+    "nonexistent_links",
     "UndetectedAttack",
     "bgpmon_like_probes",
     "custom_probes",

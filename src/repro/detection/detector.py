@@ -8,17 +8,27 @@ Section VI); it is *detected* when at least one probe saw it **and** the
 detector can classify the announcement as bogus — which requires the
 target to have published its route origins (or the detector to fall back
 on trusted historical data).
+
+Classification is path-aware (:mod:`repro.detection.taxonomy`): beyond
+ROAs, a detector may hold published neighbor sets (``neighbors``) and
+full topology knowledge (``relationships``), which is what lets it catch
+the forged-path and route-leak cells of the attack grid that origin
+validation provably cannot.
 """
 
 from __future__ import annotations
 
 from dataclasses import dataclass
+from typing import Sequence
 
 from repro.attacks.scenario import AttackOutcome
 from repro.detection.moas import MoasReport, MoasVerdict, classify_moas
 from repro.detection.probes import ProbeSet
+from repro.detection.taxonomy import PathObservation, classify_observations
 from repro.prefixes.prefix import Prefix
+from repro.registry.neighbors import NeighborRegistry
 from repro.registry.roa import OriginAuthority, ValidationState
+from repro.topology.asgraph import ASGraph
 
 __all__ = ["DetectionReport", "HijackDetector"]
 
@@ -30,6 +40,7 @@ class DetectionReport:
     outcome: AttackOutcome
     triggered_probes: frozenset[int]
     classified_bogus: bool
+    verdict: MoasVerdict | None = None
 
     @property
     def seen(self) -> bool:
@@ -52,43 +63,79 @@ class DetectionReport:
 
 @dataclass(frozen=True)
 class HijackDetector:
-    """A probe set plus the origin data used to classify announcements.
+    """A probe set plus the published data used to classify announcements.
 
     Without an ``authority`` the detector behaves like a historical-data
     system that always recognizes a mismatching origin (the optimistic
     assumption Fig. 7 makes); with one, announcements for unpublished
     space cannot be classified and slip through even if probes saw them —
-    quantifying the paper's "publish route origins" advice.
+    quantifying the paper's "publish route origins" advice. ``neighbors``
+    adds ARTEMIS-style first-hop verification and ``relationships`` full
+    topology knowledge (link verification plus leak detection); each
+    rung of that ladder catches strictly more of the attack grid.
     """
 
     probes: ProbeSet
     authority: OriginAuthority | None = None
+    neighbors: NeighborRegistry | None = None
+    relationships: ASGraph | None = None
 
     def observe(self, outcome: AttackOutcome) -> DetectionReport:
         triggered = self.probes.triggered_by(outcome.polluted_asns)
-        if self.authority is None:
-            classified = True
-        else:
-            verdict = self.authority.validate(
-                outcome.scenario.prefix, outcome.scenario.attacker_asn
-            )
-            classified = verdict is ValidationState.INVALID
+        tail = outcome.claimed_path
+        scenario = outcome.scenario
+        if tail is None and outcome.succeeded:
+            # Pre-taxonomy outcome (no recorded claim): a type-0 forgery.
+            tail = (scenario.attacker_asn,)
+        verdict: MoasVerdict | None = None
+        if tail is not None:
+            if (
+                self.authority is None
+                and self.neighbors is None
+                and self.relationships is None
+            ):
+                # Historical-data fallback: any origin that is not the
+                # prefix's known holder is recognized as bogus.
+                if tail[-1] != scenario.target_asn:
+                    verdict = MoasVerdict.HIJACK
+            else:
+                report = classify_observations(
+                    scenario.prefix,
+                    [
+                        PathObservation(
+                            tail=tail, witnesses=tuple(sorted(triggered))
+                        )
+                    ],
+                    authority=self.authority,
+                    neighbors=self.neighbors,
+                    relationships=self.relationships,
+                )
+                if report is not None and report.alarm:
+                    verdict = report.verdict
         return DetectionReport(
             outcome=outcome,
             triggered_probes=triggered,
-            classified_bogus=classified,
+            classified_bogus=verdict is not None,
+            verdict=verdict,
         )
 
     def observe_conflict(
-        self, prefix: Prefix, origins: tuple[int, ...] | list[int]
+        self,
+        prefix: Prefix,
+        origins: tuple[int, ...] | list[int],
+        *,
+        observations: Sequence[PathObservation] | None = None,
     ) -> MoasReport | None:
-        """Judge the origin set currently observed for *prefix* — the
+        """Judge what is currently observed for *prefix* — the
         event-by-event entry point.
 
         :meth:`observe` is batch-shaped: it needs a finished
         :class:`~repro.attacks.scenario.AttackOutcome`. A live monitor has
-        no outcomes, only the origins its probes see for a prefix *right
-        now*; call this after every update that changes that set.
+        no outcomes, only what its probes see for a prefix *right now*.
+        With *observations* (claimed paths plus the witnessing probes)
+        the judgement runs the full path-aware rule ladder of
+        :func:`~repro.detection.taxonomy.classify_observations`; the
+        origin-only form remains:
 
         * two or more origins — a MOAS conflict, judged by
           :func:`~repro.detection.moas.classify_moas` against this
@@ -101,6 +148,14 @@ class HijackDetector:
 
         Returns the report (check ``report.alarm``), or ``None``.
         """
+        if observations is not None:
+            return classify_observations(
+                prefix,
+                observations,
+                authority=self.authority,
+                neighbors=self.neighbors,
+                relationships=self.relationships,
+            )
         unique = tuple(sorted(set(origins)))
         if not unique:
             return None

@@ -31,16 +31,25 @@ class MoasVerdict(enum.Enum):
     LEGITIMATE_ANYCAST = "legitimate-anycast"  # all origins authorized
     HIJACK = "hijack"  # some origin is INVALID
     UNVERIFIABLE = "unverifiable"  # no published data: alarm, can't decide
+    FORGED_PATH = "forged-path"  # valid origin behind an impossible path
+    ROUTE_LEAK = "route-leak"  # real route re-exported against policy
 
 
 @dataclass(frozen=True)
 class MoasReport:
-    """Classification of one observed MOAS conflict."""
+    """Classification of one observed origin conflict.
+
+    ``culprit_paths`` (path-aware classification only — see
+    :mod:`repro.detection.taxonomy`) holds the observed claimed paths the
+    verdict indicts, claimed origin last; origin-only classification
+    leaves it empty.
+    """
 
     prefix: Prefix
     origins: tuple[int, ...]
     verdict: MoasVerdict
     invalid_origins: tuple[int, ...]
+    culprit_paths: tuple[tuple[int, ...], ...] = ()
 
     @property
     def alarm(self) -> bool:
@@ -54,8 +63,35 @@ def classify_moas(
     authority: OriginAuthority | None,
     prefix: Prefix,
     origins: tuple[int, ...] | list[int],
+    *,
+    observations=None,
+    neighbors=None,
+    relationships=None,
 ) -> MoasReport:
-    """Judge an observed multi-origin conflict against published data."""
+    """Judge an observed multi-origin conflict against published data.
+
+    With *observations* (a sequence of
+    :class:`~repro.detection.taxonomy.PathObservation`) the judgement is
+    path-aware — forged first hops, impossible links and route leaks
+    become classifiable — and delegates to
+    :func:`repro.detection.taxonomy.classify_observations`; *origins* is
+    then ignored in favour of the observations' claimed origins. The
+    origin-only form below is unchanged.
+    """
+    if observations is not None:
+        # Imported lazily: taxonomy builds on this module's report types.
+        from repro.detection.taxonomy import classify_observations
+
+        report = classify_observations(
+            prefix,
+            observations,
+            authority=authority,
+            neighbors=neighbors,
+            relationships=relationships,
+        )
+        if report is None:
+            raise ValueError("observations produced no judgeable conflict")
+        return report
     origins = tuple(sorted(set(origins)))
     if len(origins) < 2:
         raise ValueError("a MOAS conflict needs at least two origins")

@@ -26,7 +26,11 @@ class ExperimentConfig:
     (the paper attacks from all 42,696 ASes; ``None`` reproduces that
     exhaustively, the default keeps a full figure under a minute at
     indistinguishable curve shape). ``detection_attacks`` is the Fig. 7
-    workload size (paper: 8,000). ``workers`` is the sweep-executor
+    workload size (paper: 8,000). ``matrix_attacks`` is the per-cell
+    sample size of the attack-taxonomy matrix (each of the 13
+    (prefix-axis × path-axis) grid cells is swept with this many random
+    target/attacker pairs per deployment strategy). ``workers`` is the
+    sweep-executor
     parallelism (1 = sequential, 0 = every available core); it changes
     wall-clock only, never a result. ``validate`` arms the runtime
     invariant checker (:mod:`repro.oracle.invariants`) on every
@@ -44,6 +48,7 @@ class ExperimentConfig:
     attacker_sample: int | None = 1200
     detection_attacks: int = 8000
     external_sample: int = 200
+    matrix_attacks: int = 40
     workers: int = 1
     validate: bool = False
     backend: str = "reference"
@@ -57,6 +62,7 @@ class ExperimentConfig:
             attacker_sample=attacker_sample,
             detection_attacks=detection_attacks,
             external_sample=self.external_sample,
+            matrix_attacks=max(1, min(self.matrix_attacks, detection_attacks)),
             workers=self.workers,
             validate=self.validate,
             backend=self.backend,

@@ -584,6 +584,102 @@ class ExperimentSuite:
             },
         )
 
+    # -- extension: the full attack taxonomy matrix ---------------------------------------------
+
+    def attack_matrix(self) -> ExperimentResult:
+        """EXT-MATRIX: every grid cell of the attack taxonomy against the
+        deployment ladder (docs/attacks.md walks the expected shape).
+
+        Each of the 13 (prefix axis × path axis) cells is swept with the
+        same ``matrix_attacks`` random transit attackers against the deep
+        target, under three deployment rungs (undefended, the smallest
+        ladder rung, the largest). Two detector configurations judge every
+        outcome — ROV only (``roa``) and full path-aware (``full``: ROAs +
+        declared neighbors + topology) — so the table quantifies both the
+        pollution each defense prevents and the cells origin validation
+        provably cannot classify (type-1's valid claimed origin).
+        """
+        from repro.detection.detector import HijackDetector
+        from repro.detection.probes import top_degree_probes
+        from repro.detection.taxonomy import grid_cells
+        from repro.registry.neighbors import NeighborRegistry
+
+        target = self.roles.deep_target
+        sample = self.config.matrix_attacks
+        ladder = self.ladder()
+        rungs: list = [None, ladder[0], ladder[-1]]
+        neighbors = NeighborRegistry.from_graph(self.graph)
+        probes = top_degree_probes(self.graph, count=62)
+        detectors = {
+            "roa": HijackDetector(probes=probes, authority=self.authority),
+            "full": HijackDetector(
+                probes=probes, authority=self.authority,
+                neighbors=neighbors, relationships=self.graph,
+            ),
+        }
+        rows: list[dict[str, object]] = []
+        for kind, path_kind in grid_cells():
+            for rung in rungs:
+                defense = (
+                    Defense()
+                    if rung is None
+                    else Defense(strategy=rung, authority=self.authority)
+                )
+                lab = self.lab.with_defense(defense)
+                outcomes = lab.sweep_target(
+                    target,
+                    transit_only=True,
+                    sample=sample,
+                    seed=self.config.seed,
+                    kind=kind,
+                    path_kind=path_kind,
+                    forged_depth=2,
+                )
+                launched = [o for o in outcomes.values() if o.claimed_path]
+                pollution = [o.pollution_count for o in launched]
+                mean_pollution = (
+                    sum(pollution) / len(pollution) if pollution else 0.0
+                )
+                row: dict[str, object] = {
+                    "kind": kind.value,
+                    "path_kind": path_kind.value,
+                    "strategy": rung.name if rung is not None else "none",
+                    "attacks": len(outcomes),
+                    "launched": len(launched),
+                    "mean_pollution": round(mean_pollution, 2),
+                }
+                for name, detector in detectors.items():
+                    reports = [detector.observe(o) for o in launched]
+                    detected = sum(1 for r in reports if r.detected)
+                    row[f"detected_{name}"] = (
+                        round(detected / len(reports), 3) if reports else 0.0
+                    )
+                rows.append(row)
+        result = ExperimentResult(
+            experiment_id="attack_matrix",
+            title="Extension: attack taxonomy × deployment matrix",
+            summary={
+                "target": target,
+                "cells": len(grid_cells()),
+                "attacks_per_cell": sample,
+                "strategies": [
+                    "none" if rung is None else rung.name for rung in rungs
+                ],
+            },
+            tables={"matrix": rows},
+        )
+        by_cell = {
+            (row["kind"], row["path_kind"], row["strategy"]): row for row in rows
+        }
+        undefended_origin = by_cell[("origin", "type-1", "none")]
+        # The headline claim: ROV cannot classify a type-1 origin hijack
+        # (valid claimed origin), the path-aware detector can.
+        result.summary["rov_type1_blind_spot"] = bool(
+            undefended_origin["launched"]
+            and undefended_origin["detected_roa"] < undefended_origin["detected_full"]
+        )
+        return result
+
     # -- everything ---------------------------------------------------------------------------
 
     def run(self, name: str) -> ExperimentResult:
@@ -600,6 +696,6 @@ class ExperimentSuite:
             for name in (
                 "fig1", "fig2", "fig3", "fig4", "fig5", "fig6",
                 "tab1", "tab2", "fig7", "tab3", "tab4", "tab5",
-                "nz_rehoming", "nz_filter", "ext_subprefix",
+                "nz_rehoming", "nz_filter", "ext_subprefix", "attack_matrix",
             )
         ]

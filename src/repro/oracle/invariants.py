@@ -36,7 +36,7 @@ boolean per convergence — nothing in the hot loops changes.
 
 from __future__ import annotations
 
-from typing import TYPE_CHECKING, Collection, Sequence
+from typing import TYPE_CHECKING, Collection, Mapping, Sequence
 
 from repro.bgp.engine import UNREACHABLE, RouteState
 from repro.bgp.policy import PolicyConfig, prefers
@@ -81,8 +81,13 @@ def _edge_class(view: RoutingView, node: int, neighbor: int) -> int | None:
     return None
 
 
-def _check_shape(view: RoutingView, state: RouteState) -> None:
+def _check_shape(
+    view: RoutingView,
+    state: RouteState,
+    origin_lengths: "Mapping[int, int] | None" = None,
+) -> None:
     n = len(view)
+    pad_of = origin_lengths or {}
     for name, array in (
         ("cls", state.cls),
         ("length", state.length),
@@ -106,11 +111,15 @@ def _check_shape(view: RoutingView, state: RouteState) -> None:
                 _fail("shape", f"routeless node {node} has parent {state.parent[node]}")
             continue
         if state.cls[node] == _ORIGIN:
-            if state.length[node] != 0 or state.parent[node] != -1:
+            # A path-forging announcer installs at its claimed-path padding
+            # (see RoutingEngine.converge's origin_length); honest origins
+            # install at 0.
+            expected_length = pad_of.get(node, 0)
+            if state.length[node] != expected_length or state.parent[node] != -1:
                 _fail(
                     "shape",
                     f"origin-class node {node} has length {state.length[node]} "
-                    f"parent {state.parent[node]}",
+                    f"(expected {expected_length}) parent {state.parent[node]}",
                 )
             if state.origin_of[node] != node:
                 _fail(
@@ -254,6 +263,7 @@ def check_route_state(
     blocked: Collection[int] = (),
     first_hop_filtered: bool = False,
     history: "Sequence[tuple[int, Collection[int], bool]] | None" = None,
+    origin_lengths: "Mapping[int, int] | None" = None,
 ) -> None:
     """Run the full invariant suite on one converged state.
 
@@ -273,6 +283,11 @@ def check_route_state(
     stability and blocked checks then scope each exemption to the origin
     whose pass it was captured for; ``blocked``/``first_hop_filtered``
     are ignored when ``history`` is given.
+
+    ``origin_lengths`` maps origin *nodes* to the claimed-path padding
+    their announcement carried (:meth:`RoutingEngine.converge
+    <repro.bgp.engine.RoutingEngine.converge>`'s ``origin_length``);
+    origins absent from the mapping are expected at the honest length 0.
     """
     policy = policy or PolicyConfig()
     if history is None:
@@ -285,7 +300,7 @@ def check_route_state(
         for origin, _, first_hop in history
         if first_hop and not view.customers[origin]
     )
-    _check_shape(view, state)
+    _check_shape(view, state, origin_lengths)
     _check_parent_edges(view, state)
     _check_loop_free(view, state)
     _check_valley_free(view, state, policy)

@@ -47,6 +47,7 @@ __all__ = [
     "hijack_cases",
     "roa_tables",
     "routing_views",
+    "taxonomy_scenarios",
 ]
 
 
@@ -198,6 +199,46 @@ def announce_withdraw_sequences(
         active.append(origin)
         ops.append(("announce", origin, blocked, draw(st.booleans())))
     return view, ops
+
+
+@st.composite
+def taxonomy_scenarios(
+    draw, *, min_size: int = 4, max_size: int = 24
+) -> tuple[ASGraph, "object"]:
+    """A hierarchical topology plus one attack-grid scenario over it.
+
+    Draws any cell of the ARTEMIS grid (prefix axis × path axis, plus the
+    route-leak row — :func:`repro.detection.taxonomy.grid_cells`) with
+    type-N forged depths 1–3, against distinct target/attacker routing
+    nodes. The scenario's prefix comes from the default address plan at
+    ``seed=0`` — consumers must build their labs with ``seed=0`` (and the
+    same graph) for the scenario to resolve.
+    """
+    # Imported here: the strategy library must stay importable without
+    # dragging the whole attack stack in for the structural suites.
+    from repro.attacks.lab import HijackLab
+    from repro.detection.taxonomy import grid_cells
+
+    graph = draw(hierarchical_topologies(min_size=min_size, max_size=max_size))
+    lab = HijackLab(graph, seed=0)
+    view = lab.view
+    asns = sorted(graph.asns())
+    target_asn = draw(st.sampled_from(asns))
+    attacker_asn = draw(
+        st.sampled_from(asns).filter(
+            lambda asn: view.node_of(asn) != view.node_of(target_asn)
+        )
+    )
+    kind, path_kind = draw(st.sampled_from(grid_cells()))
+    depth = draw(st.integers(min_value=1, max_value=3))
+    scenario = lab.build_scenario(
+        target_asn,
+        attacker_asn,
+        kind=kind,
+        path_kind=path_kind,
+        forged_depth=depth,
+    )
+    return graph, scenario
 
 
 @st.composite

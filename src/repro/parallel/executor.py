@@ -120,22 +120,21 @@ class SweepExecutor:
         ]
 
     def _prewarm(self, scenarios: Sequence[HijackScenario]) -> None:
-        """Converge each distinct origin-hijack target once, in the parent.
+        """Converge each baseline-needing target once, in the parent.
 
         Baselines land frozen in the lab's convergence cache, which forked
         workers then share copy-on-write. Bounded by the cache capacity:
         past that, extra pre-warming would only evict what was just
-        computed, so late targets are left for the workers.
+        computed, so late targets are left for the workers. A scenario
+        needs the target baseline when its bogus route competes with the
+        legitimate one (exact-prefix, route leaks) or when its claimed
+        path is read off the legitimate state (type-U replays) — the
+        scenario's ``needs_baseline`` property.
         """
-        # Imported here, not at module top: the attacks package imports this
-        # module, so a top-level import would make ``import repro.parallel``
-        # fail whenever it runs before ``repro.attacks``.
-        from repro.attacks.scenario import HijackKind
-
         budget = self.lab.cache.capacity
         seen: set[int] = set()
         for scenario in scenarios:
-            if scenario.kind is not HijackKind.ORIGIN:
+            if not scenario.needs_baseline:
                 continue
             node = self.lab.view.node_of(scenario.target_asn)
             if node in seen:

@@ -11,6 +11,7 @@ from repro.registry.dns import (
     parse_name,
 )
 from repro.registry.history import HistoricalAuthority
+from repro.registry.neighbors import NeighborRegistry
 from repro.registry.publication import PublicationState, plan_truth_table
 from repro.registry.roa import (
     OriginAuthority,
@@ -33,6 +34,7 @@ __all__ = [
     "HistoricalAuthority",
     "LookupResult",
     "LookupStatus",
+    "NeighborRegistry",
     "OriginAuthority",
     "PublicationState",
     "ResourceCertificate",

@@ -33,7 +33,7 @@ from dataclasses import dataclass
 from pathlib import Path
 from typing import Iterable, Iterator, Sequence, Union
 
-from repro.attacks.scenario import HijackKind, HijackScenario
+from repro.attacks.scenario import HijackKind, HijackScenario, PathKind
 from repro.prefixes.prefix import Prefix, PrefixError
 
 __all__ = [
@@ -57,13 +57,35 @@ class StreamFormatError(ValueError):
     """A line/object does not encode a valid stream event."""
 
 
+#: Valid ``Announce.replay`` markers (besides the empty string).
+_REPLAY_MODES = ("unmodified", "leak")
+
+
 @dataclass(frozen=True, order=True)
 class Announce:
-    """*origin_asn* starts announcing *prefix* at virtual time *at*."""
+    """*origin_asn* starts announcing *prefix* at virtual time *at*.
+
+    ``path`` is the claimed AS path attribute the announcement carries
+    (claimed origin **last**; empty = the honest single-origin claim) —
+    how forged type-1/type-N claims ride the wire. ``replay`` marks a
+    claim that can only be resolved against live routing state at apply
+    time: ``"unmodified"`` re-announces the announcer's currently
+    selected route verbatim (type-U), ``"leak"`` re-exports it with the
+    announcer prepended (a route leak). ``path`` and ``replay`` are
+    mutually exclusive.
+    """
 
     at: float
     prefix: Prefix
     origin_asn: int
+    path: tuple[int, ...] = ()
+    replay: str = ""
+
+    def __post_init__(self) -> None:
+        if self.path and self.replay:
+            raise ValueError("an announce carries either a path or a replay marker")
+        if self.replay and self.replay not in _REPLAY_MODES:
+            raise ValueError(f"unknown replay mode {self.replay!r}")
 
 
 @dataclass(frozen=True, order=True)
@@ -131,6 +153,11 @@ def event_to_dict(event: StreamEvent) -> dict[str, object]:
         payload["origin"] = event.origin_asn
         if isinstance(event, (RoaPublish, RoaRevoke)) and event.max_length is not None:
             payload["max_length"] = event.max_length
+        if isinstance(event, Announce):
+            if event.path:
+                payload["path"] = list(event.path)
+            if event.replay:
+                payload["replay"] = event.replay
     return payload
 
 
@@ -168,6 +195,19 @@ def event_from_dict(payload: object) -> StreamEvent:
                 raise StreamFormatError(f"invalid max_length in {payload!r}")
             return cls(at=float(at), prefix=prefix, origin_asn=origin,
                        max_length=max_length)
+        if cls is Announce:
+            path = payload.get("path", [])
+            if not isinstance(path, list) or not all(
+                isinstance(asn, int) and not isinstance(asn, bool) for asn in path
+            ):
+                raise StreamFormatError(f"invalid path in {payload!r}")
+            replay = payload.get("replay", "")
+            if not isinstance(replay, str):
+                raise StreamFormatError(f"invalid replay marker in {payload!r}")
+            return Announce(
+                at=float(at), prefix=prefix, origin_asn=origin,
+                path=tuple(path), replay=replay,
+            )
         return cls(at=float(at), prefix=prefix, origin_asn=origin)
     except (PrefixError, ValueError) as error:
         if isinstance(error, StreamFormatError):
@@ -248,19 +288,42 @@ def compile_scenario(
     ``scenario.prefix`` — two distinct NLRIs, which is exactly why
     origin-conflict monitors need published ROAs to catch it. With
     *dwell* the attacker withdraws after that long (a hijack flap).
+
+    Taxonomy cells lower naturally: a squat's covering prefix stays
+    *dark* (the target never originates the squatted slice, so no
+    legitimate announce is emitted for it — only the covering primary
+    prefix, which the replay layer needs for nothing and the monitor
+    sees as a separate NLRI); forged claims ride the attacker announce's
+    ``path``; type-U replays and leaks carry the matching ``replay``
+    marker resolved against live state at apply time.
     """
     events: list[StreamEvent] = []
     if announce_legitimate:
         legit_prefix = scenario.prefix
-        if scenario.kind is HijackKind.SUBPREFIX and scenario.prefix.length > 0:
+        if (
+            scenario.kind in (HijackKind.SUBPREFIX, HijackKind.SQUAT)
+            and scenario.prefix.length > 0
+        ):
             legit_prefix = scenario.prefix.supernet()
         events.append(
             Announce(at=start, prefix=legit_prefix, origin_asn=scenario.target_asn)
         )
     attack_at = start + spacing
+    attacker_path: tuple[int, ...] = ()
+    attacker_replay = ""
+    if scenario.kind is HijackKind.ROUTE_LEAK:
+        attacker_replay = "leak"
+    elif scenario.path_kind in (PathKind.TYPE_1, PathKind.TYPE_N):
+        attacker_path = scenario.forged_path
+    elif (
+        scenario.path_kind is PathKind.TYPE_U
+        and scenario.kind is not HijackKind.SQUAT
+    ):
+        attacker_replay = "unmodified"
     events.append(
         Announce(at=attack_at, prefix=scenario.prefix,
-                 origin_asn=scenario.attacker_asn)
+                 origin_asn=scenario.attacker_asn,
+                 path=attacker_path, replay=attacker_replay)
     )
     if dwell is not None:
         events.append(

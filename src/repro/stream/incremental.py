@@ -78,12 +78,27 @@ class AnnounceEntry:
     announce time — defense changes are not retroactive; they affect
     announcements that propagate after them, exactly as receiver-side
     blocking drops announcements at propagation time (Section V).
+    ``path`` is the claimed AS path attribute (claimed origin last;
+    ``None`` = the honest single-AS claim) — its length sets the pass's
+    claimed-path padding, so a forged deep path competes at its claimed
+    length exactly as in the batch lab.
     """
 
     origin: int
     origin_asn: int
     blocked: frozenset[int] = frozenset()
     first_hop_filtered: bool = False
+    path: tuple[int, ...] | None = None
+
+    @property
+    def claimed_path(self) -> tuple[int, ...]:
+        """The effective claim; defaults to the honest origin-only path."""
+        return self.path if self.path else (self.origin_asn,)
+
+    @property
+    def origin_length(self) -> int:
+        """Claimed-path padding for the convergence pass (0 = honest)."""
+        return len(self.claimed_path) - 1
 
 
 def full_converge(
@@ -116,6 +131,7 @@ def full_converge(
             base=state,
             blocked=entry.blocked,
             filter_first_hop_providers=entry.first_hop_filtered,
+            origin_length=entry.origin_length,
         )
     if engine.validate and state is not None:
         _validate_chain(engine, state, entries)
@@ -138,6 +154,11 @@ def _validate_chain(
             (entry.origin, entry.blocked, entry.first_hop_filtered)
             for entry in entries
         ],
+        origin_lengths={
+            entry.origin: entry.origin_length
+            for entry in entries
+            if entry.origin_length
+        },
     )
 
 
@@ -199,6 +220,12 @@ class PrefixLedger:
         """Routing node → announcing ASN for every active announcement."""
         return {slot.entry.origin: slot.entry.origin_asn for slot in self._slots}
 
+    def claimed_paths(self) -> dict[int, tuple[int, ...]]:
+        """Routing node → claimed AS path for every active announcement."""
+        return {
+            slot.entry.origin: slot.entry.claimed_path for slot in self._slots
+        }
+
     def checksum(self) -> str | None:
         return self._state.checksum() if self._slots and self._state else None
 
@@ -211,6 +238,7 @@ class PrefixLedger:
         origin_asn: int | None = None,
         blocked: Collection[int] = (),
         first_hop_filtered: bool = False,
+        path: tuple[int, ...] | None = None,
     ) -> bool:
         """Apply one announcement; ``False`` if *origin* is already active."""
         if self.is_active(origin):
@@ -220,6 +248,7 @@ class PrefixLedger:
             origin_asn=origin_asn if origin_asn is not None else origin,
             blocked=frozenset(blocked),
             first_hop_filtered=first_hop_filtered,
+            path=tuple(path) if path else None,
         )
         if self._state is None:
             self._state = RouteState.empty(len(self.engine.view), origin)
@@ -266,6 +295,7 @@ class PrefixLedger:
             entry.origin,
             blocked=entry.blocked,
             filter_first_hop_providers=entry.first_hop_filtered,
+            origin_length=entry.origin_length,
         )
         slot = _LedgerSlot(entry=entry, delta=delta)
         self._slots.append(slot)

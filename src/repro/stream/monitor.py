@@ -13,12 +13,15 @@ ticket — and it is what batch pollution metrics cannot express.
 :class:`OnlineMonitor` is fed by the replay engine after every applied
 batch: it re-reads each probe's installed route for the touched prefix
 from the :class:`~repro.stream.incremental.PrefixLedger`, maps origin
-nodes back to announcing ASNs, and hands the observed origin set to
+nodes back to announcing ASNs and claimed AS paths, and hands the
+observed :class:`~repro.detection.taxonomy.PathObservation` set to
 :meth:`HijackDetector.observe_conflict
-<repro.detection.detector.HijackDetector.observe_conflict>` (MOAS
-conflicts and single-origin INVALID announcements alike). Alarm times
-are the *flush* times, so queue batching shows up as measurable added
-latency — the backpressure/latency trade-off becomes a number.
+<repro.detection.detector.HijackDetector.observe_conflict>` — so the
+full path-aware rule ladder (ROA origin check, first-hop verification,
+link verification, valley-free export) runs live, cell by cell of the
+attack grid. Alarm times are the *flush* times, so queue batching shows
+up as measurable added latency — the backpressure/latency trade-off
+becomes a number.
 """
 
 from __future__ import annotations
@@ -26,6 +29,7 @@ from __future__ import annotations
 from dataclasses import dataclass
 
 from repro.detection.detector import HijackDetector
+from repro.detection.taxonomy import PathObservation
 from repro.obs.metrics import NULL_METRICS, Metrics
 from repro.prefixes.prefix import Prefix
 from repro.stream.incremental import PrefixLedger
@@ -39,11 +43,14 @@ class StreamAlarm:
     """One alarm the monitor raised, with its latency measurements.
 
     ``latency_time``/``latency_events`` measure from the most recent
-    announcement of a culprit origin (the invalid origins when published
-    data identifies them, otherwise every conflicting origin) to the
-    moment the monitor judged the conflict — virtual seconds and events
-    processed respectively. ``triggered_probes`` are the probe ASes
-    whose selected route pointed at a culprit origin at alarm time.
+    announcement of a culprit (the announcer behind an indicted claimed
+    path when path-aware classification names one, the invalid origins
+    when only origin data does, otherwise every conflicting origin) to
+    the moment the monitor judged the conflict — virtual seconds and
+    events processed respectively. ``triggered_probes`` are the probe
+    ASes whose selected route carried a culprit claim at alarm time;
+    ``culprit_paths`` are those claims (claimed origin last), empty for
+    origin-only verdicts.
     """
 
     at: float
@@ -54,6 +61,7 @@ class StreamAlarm:
     latency_time: float
     latency_events: int
     triggered_probes: tuple[int, ...]
+    culprit_paths: tuple[tuple[int, ...], ...] = ()
 
     def as_dict(self) -> dict[str, object]:
         return {
@@ -65,6 +73,7 @@ class StreamAlarm:
             "latency_time": self.latency_time,
             "latency_events": self.latency_events,
             "triggered_probes": list(self.triggered_probes),
+            "culprit_paths": [list(path) for path in self.culprit_paths],
         }
 
 
@@ -170,34 +179,57 @@ class OnlineMonitor:
         if state is None:
             return None
         asn_of_origin = ledger.origin_asns()
-        seen_by: dict[int, list[int]] = {}
+        claimed = ledger.claimed_paths()
+        witnesses_by_tail: dict[tuple[int, ...], list[int]] = {}
+        announcer_by_tail: dict[tuple[int, ...], int] = {}
         for probe_asn, probe_node in self._probe_views:
             origin_node = state.origin_of[probe_node]
             if origin_node == -1:
                 continue
-            origin_asn = asn_of_origin.get(origin_node)
-            if origin_asn is None:  # defensively skip stale origins
+            announcer = asn_of_origin.get(origin_node)
+            if announcer is None:  # defensively skip stale origins
                 continue
-            seen_by.setdefault(origin_asn, []).append(probe_asn)
-        if not seen_by:
+            tail = claimed.get(origin_node, (announcer,))
+            witnesses_by_tail.setdefault(tail, []).append(probe_asn)
+            announcer_by_tail.setdefault(tail, announcer)
+        if not witnesses_by_tail:
             return None
-        origins = tuple(sorted(seen_by))
-        report = self.detector.observe_conflict(prefix, origins)
+        observations = [
+            PathObservation(tail=tail, witnesses=tuple(sorted(probes)))
+            for tail, probes in sorted(witnesses_by_tail.items())
+        ]
+        origins = tuple(sorted({tail[-1] for tail in witnesses_by_tail}))
+        report = self.detector.observe_conflict(
+            prefix, origins, observations=observations
+        )
         if report is None:
             return None
         self._conflicts_judged += 1
         self.metrics.count("stream.monitor.conflicts")
         if not report.alarm:
             return None
-        key = (prefix, report.origins)
+        key = (prefix, report.origins, report.culprit_paths)
         if key in self._alarm_keys:
             return None
         self._alarm_keys.add(key)
-        culprits = report.invalid_origins or report.origins
+        if report.culprit_paths:
+            culprit_tails = report.culprit_paths
+        else:
+            blamed = set(report.invalid_origins or report.origins)
+            culprit_tails = tuple(
+                tail for tail in sorted(witnesses_by_tail) if tail[-1] in blamed
+            )
+        culprits = sorted(
+            {
+                announcer_by_tail[tail]
+                for tail in culprit_tails
+                if tail in announcer_by_tail
+            }
+        )
         anchors = [
             anchor
-            for origin in culprits
-            if (anchor := self._announced.get((prefix, origin))) is not None
+            for announcer in culprits
+            if (anchor := self._announced.get((prefix, announcer))) is not None
         ]
         if anchors:
             anchor_at, anchor_seq = max(anchors)
@@ -208,8 +240,8 @@ class OnlineMonitor:
         triggered = tuple(
             sorted(
                 probe
-                for origin in culprits
-                for probe in seen_by.get(origin, ())
+                for tail in culprit_tails
+                for probe in witnesses_by_tail.get(tail, ())
             )
         )
         alarm = StreamAlarm(
@@ -221,6 +253,7 @@ class OnlineMonitor:
             latency_time=latency_time,
             latency_events=latency_events,
             triggered_probes=triggered,
+            culprit_paths=report.culprit_paths,
         )
         self.alarms.append(alarm)
         self.metrics.count("stream.monitor.alarms")

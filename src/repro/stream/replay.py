@@ -172,6 +172,8 @@ class StreamReplayer:
             authority=self.authority if len(self.authority) else None,
             manual_filters=self._base_defense.manual_filters,
             stub_filter=self._base_defense.stub_filter,
+            neighbors=self._base_defense.neighbors,
+            path_check=self._base_defense.path_check,
         )
 
     @property
@@ -334,12 +336,26 @@ class StreamReplayer:
         if not view.has_asn(event.origin_asn):
             raise ValueError(f"unknown origin AS{event.origin_asn}")
         node = view.node_of(event.origin_asn)
+        if event.replay:
+            # A type-U replay / route leak reuses the route the announcer
+            # currently holds; with nothing to reuse the event is a noop
+            # — the attack never launches, exactly as in the batch lab.
+            tail = self._resolve_replay(event, node)
+            if tail is None:
+                self._note_noop()
+                return
+        elif event.path:
+            tail = tuple(event.path)
+        else:
+            tail = None
         ledger = self._ledgers.get(event.prefix)
         if ledger is None:
             ledger = PrefixLedger(self.lab.engine, metrics=self.metrics)
             self._ledgers[event.prefix] = ledger
         defense = self.defense()
-        blocked = defense.blocking_nodes(view, event.prefix, event.origin_asn)
+        blocked = defense.blocking_nodes(
+            view, event.prefix, event.origin_asn, claimed_path=tail
+        )
         first_hop = (
             defense.stub_filter
             and not self.lab.graph.customers(event.origin_asn)
@@ -350,11 +366,47 @@ class StreamReplayer:
             origin_asn=event.origin_asn,
             blocked=blocked,
             first_hop_filtered=first_hop,
+            path=tail,
         )
         if not applied:
             self._note_noop()
             return
         touched.add(event.prefix)
+
+    def _resolve_replay(self, event: Announce, node: int) -> tuple[int, ...] | None:
+        """The claimed path a replay marker resolves to right now.
+
+        Longest-match lookup over the live ledgers covering the announced
+        prefix: the announcer's currently selected route for that space
+        is the one it re-announces. The tail is the announcer's received
+        AS path (parent chain ASNs, claimed origin last — the announcer
+        itself absent, as on the wire); a leak prepends the announcer.
+        ``None`` when no covering ledger gives the announcer a route.
+        """
+        view = self.lab.view
+        covering = sorted(
+            (
+                (prefix, ledger)
+                for prefix, ledger in self._ledgers.items()
+                if prefix.contains(event.prefix)
+            ),
+            key=lambda item: -item[0].length,
+        )
+        for _prefix, ledger in covering:
+            state = ledger.state
+            if state is None or not state.has_route(node):
+                continue
+            chain = state.path_from(node)
+            if not chain:
+                continue  # the announcer originates this one itself
+            origin_asns = ledger.origin_asns()
+            tail = tuple(
+                origin_asns.get(hop, view.asn_of(hop)) for hop in chain
+            )
+            if event.replay == "leak":
+                return (event.origin_asn, *tail)
+            return tail
+        return None
 
     def _apply_withdraw(self, event: Withdraw, touched: set[Prefix]) -> None:
         view = self.lab.view

@@ -20,12 +20,17 @@ from hypothesis import strategies as st
 
 from repro.attacks.lab import HijackLab
 from repro.bgp.engine import RoutingEngine
+from repro.detection.detector import HijackDetector
+from repro.detection.probes import top_degree_probes
 from repro.oracle.strategies import (
     announce_withdraw_sequences,
     example_budget,
     hierarchical_topologies,
     hijack_cases,
+    taxonomy_scenarios,
 )
+from repro.registry.neighbors import NeighborRegistry
+from repro.registry.publication import PublicationState
 
 
 def _engines(case):
@@ -93,6 +98,35 @@ def test_converge_delta_journal_parity(case):
         ref_deltas.pop().revert(ref_state)
         arr_deltas.pop().revert(arr_state)
         assert ref_state.checksum() == arr_state.checksum()
+
+
+@settings(max_examples=example_budget(60), deadline=None)
+@given(taxonomy_scenarios())
+def test_taxonomy_cells_match_reference(case):
+    """Every attack-grid cell — forged paths, squats, replays, leaks —
+    runs checksum-identically on both backends, with the same claimed
+    path, the same polluted set, and the same detection verdict from the
+    full path-aware detector."""
+    graph, scenario = case
+    ref_lab = HijackLab(graph, seed=0, validate=True)
+    arr_lab = HijackLab(graph, seed=0, validate=True, backend="array")
+    ref_outcome = ref_lab.run_scenario(scenario)
+    arr_outcome = arr_lab.run_scenario(scenario)
+    assert ref_outcome.claimed_path == arr_outcome.claimed_path
+    assert ref_outcome.polluted_asns == arr_outcome.polluted_asns
+    ref_state = ref_lab.claimed_path(scenario)  # resolves against baseline
+    assert ref_state == arr_lab.claimed_path(scenario)
+    detector = HijackDetector(
+        probes=top_degree_probes(graph, count=6),
+        authority=PublicationState.full(ref_lab.plan).table(),
+        neighbors=NeighborRegistry.from_graph(graph),
+        relationships=graph,
+    )
+    ref_report = detector.observe(ref_outcome)
+    arr_report = detector.observe(arr_outcome)
+    assert ref_report.verdict == arr_report.verdict
+    assert ref_report.detected == arr_report.detected
+    assert ref_report.triggered_probes == arr_report.triggered_probes
 
 
 @settings(max_examples=example_budget(8), deadline=None)

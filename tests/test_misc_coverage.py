@@ -144,5 +144,5 @@ class TestSuiteExtraDrivers:
         assert ids == [
             "fig1", "fig2", "fig3", "fig4", "fig5", "fig6", "tab1", "tab2",
             "fig7", "tab3", "tab4", "tab5", "nz_rehoming", "nz_filter",
-            "ext_subprefix",
+            "ext_subprefix", "attack_matrix",
         ]

@@ -2,7 +2,7 @@
 
 import pytest
 
-from repro.attacks.scenario import HijackKind, HijackScenario
+from repro.attacks.scenario import HijackKind, HijackScenario, PathKind
 from repro.prefixes.prefix import Prefix
 from repro.stream.events import (
     Announce,
@@ -25,6 +25,8 @@ SUB = Prefix.parse("10.1.128.0/17")
 
 ALL_KINDS = [
     Announce(at=0.0, prefix=PFX, origin_asn=50),
+    Announce(at=0.5, prefix=PFX, origin_asn=60, path=(60, 64512, 50)),
+    Announce(at=0.75, prefix=PFX, origin_asn=60, replay="leak"),
     Withdraw(at=1.5, prefix=PFX, origin_asn=50),
     RoaPublish(at=2.0, prefix=PFX, origin_asn=50),
     RoaRevoke(at=3.0, prefix=PFX, origin_asn=50, max_length=24),
@@ -70,6 +72,12 @@ class TestSerialization:
               "origin": 50}, "malformed event"),
             ({"kind": "roa-publish", "at": 1.0, "prefix": "10.1.0.0/16",
               "origin": 50, "max_length": "x"}, "max_length"),
+            ({"kind": "announce", "at": 1.0, "prefix": "10.1.0.0/16",
+              "origin": 60, "path": [60, "50"]}, "invalid path"),
+            ({"kind": "announce", "at": 1.0, "prefix": "10.1.0.0/16",
+              "origin": 60, "replay": 7}, "invalid replay"),
+            ({"kind": "announce", "at": 1.0, "prefix": "10.1.0.0/16",
+              "origin": 60, "replay": "verbatim"}, "malformed event"),
             ({"kind": "defense-activate", "at": 1.0,
               "deployers": [1, "2"]}, "deployer"),
         ],
@@ -88,6 +96,21 @@ class TestSerialization:
         path.write_text(path.read_text() + "{broken\n")
         with pytest.raises(StreamFormatError, match=r"bad\.jsonl:2"):
             read_events(path)
+
+
+class TestAnnounceValidation:
+    def test_path_and_replay_are_mutually_exclusive(self):
+        with pytest.raises(ValueError, match="either a path or a replay"):
+            Announce(at=0.0, prefix=PFX, origin_asn=60, path=(60, 50),
+                     replay="leak")
+
+    def test_unknown_replay_mode_rejected(self):
+        with pytest.raises(ValueError, match="unknown replay mode"):
+            Announce(at=0.0, prefix=PFX, origin_asn=60, replay="verbatim")
+
+    def test_honest_wire_form_has_no_path_keys(self):
+        payload = event_to_dict(Announce(at=0.0, prefix=PFX, origin_asn=50))
+        assert "path" not in payload and "replay" not in payload
 
 
 class TestCompileScenario:
@@ -116,6 +139,45 @@ class TestCompileScenario:
         scenario = HijackScenario(target_asn=50, attacker_asn=60, prefix=PFX)
         events = compile_scenario(scenario, announce_legitimate=False)
         assert [event.origin_asn for event in events] == [60]
+
+    def test_forged_path_rides_the_attacker_announce(self):
+        scenario = HijackScenario(
+            target_asn=50, attacker_asn=60, prefix=PFX,
+            path_kind=PathKind.TYPE_N, forged_path=(60, 64512, 50),
+        )
+        _legit, attack = compile_scenario(scenario)
+        assert attack.path == scenario.forged_path
+        assert attack.replay == ""
+
+    def test_type_u_lowers_to_replay_marker(self):
+        scenario = HijackScenario(
+            target_asn=50, attacker_asn=60, prefix=PFX,
+            path_kind=PathKind.TYPE_U,
+        )
+        _legit, attack = compile_scenario(scenario)
+        assert attack.replay == "unmodified" and attack.path == ()
+
+    def test_route_leak_lowers_to_leak_marker(self):
+        scenario = HijackScenario(
+            target_asn=50, attacker_asn=60, prefix=PFX,
+            kind=HijackKind.ROUTE_LEAK,
+        )
+        _legit, attack = compile_scenario(scenario)
+        assert attack.replay == "leak" and attack.path == ()
+
+    def test_squat_type_u_keeps_the_squatted_slice_dark(self):
+        """A squatter's unmodified replay re-announces its own honest
+        claim (it holds no route to the dark prefix), so the compiler
+        emits a plain announce, and the legitimate origin announces only
+        the covering prefix."""
+        scenario = HijackScenario(
+            target_asn=50, attacker_asn=60, prefix=SUB,
+            kind=HijackKind.SQUAT, path_kind=PathKind.TYPE_U,
+        )
+        legit, attack = compile_scenario(scenario)
+        assert legit.prefix == SUB.supernet()
+        assert attack.prefix == SUB
+        assert attack.path == () and attack.replay == ""
 
 
 class TestCompileCampaign:
