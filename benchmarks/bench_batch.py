@@ -1,0 +1,68 @@
+"""BENCH-BATCH — batched multi-origin sweeps and warm-started ladders.
+
+Not a paper figure: this benchmark tracks the batched array kernel's
+headline claims (see the "Batched multi-origin convergence" section of
+``docs/performance.md``) — a vulnerability sweep chunk-fused through
+:meth:`~repro.bgp.engine.RoutingEngine.converge_batch` beats the
+per-attack convergence loop, and a deployment ladder warm-started
+through the ``converge_delta`` undo journal beats cold per-rung sweeps —
+with both batched paths producing item-identical outcomes.
+
+It runs :func:`repro.obs.bench.run_batch_bench` once (the same routine
+behind ``repro-bgp bench --suite batch``, profile picked by
+``REPRO_BENCH_BATCH_PROFILE``), writes the schema-versioned
+``BENCH_batch.json`` under ``results/`` for the bench-smoke CI gate's
+compare differ, and asserts:
+
+* the batched sweep reproduced the unbatched outcomes item-by-item and
+  the warm-started ladder matched the cold per-rung profiles (the
+  correctness side of the speed claim);
+* both batched paths actually win — with the ISSUE's ≥2× sweep bar
+  enforced from smoke (2,000-AS) scale up, where the fused frontier
+  arrays dwarf per-call bookkeeping.
+"""
+
+from __future__ import annotations
+
+from benchmarks.conftest import BATCH_PROFILE, RESULTS_DIR
+
+from repro.obs.bench import BATCH_PROFILES, run_batch_bench
+from repro.util.tables import render_table
+
+
+def test_batch_bench(benchmark, bench_metrics):
+    payload, path = benchmark.pedantic(
+        run_batch_bench,
+        args=(BATCH_PROFILE,),
+        kwargs={
+            "output": RESULTS_DIR / "BENCH_batch.json",
+            "metrics": bench_metrics,
+        },
+        rounds=1,
+        iterations=1,
+    )
+    timings = payload["timings"]
+    derived = payload["derived"]
+    sweep_speedup = payload["speedups"]["sweep_batch"]
+    ladder_speedup = payload["speedups"]["deployment_warm"]
+
+    rows = [(key, round(value, 4)) for key, value in sorted(timings.items())]
+    rows += [
+        ("batched sweep speedup", f"{sweep_speedup:.2f}x"),
+        ("warm-started ladder speedup", f"{ladder_speedup:.2f}x"),
+        ("attackers", derived["attackers"]),
+        ("ladder rungs", derived["rungs"]),
+        ("origins per chunk", derived["batch_origins"]),
+    ]
+    print()
+    print(render_table(("phase", "value"), rows,
+                       title=f"BENCH-BATCH profile: {BATCH_PROFILE} → {path}"))
+
+    assert derived["outcomes_consistent"] is True
+    assert derived["ladder_consistent"] is True
+    assert sweep_speedup > 1.0
+    assert ladder_speedup > 1.0
+    if BATCH_PROFILES[BATCH_PROFILE].as_count >= 2000:
+        # The ISSUE 7 acceptance bar, meaningful once convergence cost
+        # dominates per-scenario bookkeeping.
+        assert sweep_speedup >= 2.0

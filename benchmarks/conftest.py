@@ -15,6 +15,7 @@ Scale knobs (environment variables):
 ``REPRO_BENCH_WORKERS``       sweep worker processes (default 1; 0 = all cores)
 ``REPRO_BENCH_CACHE_ATTACKS`` cache-workload size for BENCH-PAR (default 600)
 ``REPRO_BENCH_STREAM_PROFILE`` stream profile for BENCH-STREAM (default smoke)
+``REPRO_BENCH_BATCH_PROFILE``  batch profile for BENCH-BATCH (default smoke)
 
 Every ``bench_*`` module reads its knobs from here — nothing else in
 ``benchmarks/`` touches ``os.environ`` — so one table lists every way a
@@ -54,6 +55,7 @@ SEED = _env_int("REPRO_BENCH_SEED", 2014)
 WORKERS = _env_int("REPRO_BENCH_WORKERS", 1)
 CACHE_ATTACKS = _env_int("REPRO_BENCH_CACHE_ATTACKS", 600)
 STREAM_PROFILE = os.environ.get("REPRO_BENCH_STREAM_PROFILE") or "smoke"
+BATCH_PROFILE = os.environ.get("REPRO_BENCH_BATCH_PROFILE") or "smoke"
 BENCH_WORKERS = resolve_workers(WORKERS) if WORKERS != 1 else 4
 RESULTS_DIR = Path(os.environ.get("REPRO_BENCH_RESULTS", "results"))
 

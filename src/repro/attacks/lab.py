@@ -19,7 +19,7 @@ the sequential path in the same order; see ``docs/performance.md``.
 
 from __future__ import annotations
 
-from typing import Iterable, Sequence
+from typing import TYPE_CHECKING, Iterable, Sequence
 
 from repro.attacks.scenario import (
     AttackOutcome,
@@ -43,6 +43,10 @@ from repro.topology.generator import default_address_plan
 from repro.topology.view import RoutingView
 from repro.util.rng import make_rng
 
+if TYPE_CHECKING:  # pragma: no cover - annotation-only imports
+    from repro.defense.strategies import DeploymentStrategy
+    from repro.registry.roa import OriginAuthority
+
 __all__ = ["HijackLab"]
 
 
@@ -62,7 +66,10 @@ class HijackLab:
         validate: bool = False,
         metrics: Metrics | None = None,
         backend: str = "reference",
+        batch_origins: int = 1,
     ) -> None:
+        if batch_origins < 1:
+            raise ValueError("batch_origins must be >= 1")
         self.graph = graph
         self.plan = plan if plan is not None else default_address_plan(graph, seed=seed)
         self.policy = policy or PolicyConfig()
@@ -71,6 +78,10 @@ class HijackLab:
         self.workers = workers
         self.validate = validate
         self.backend = backend
+        # Scenarios per fused converge_batch call (docs/performance.md,
+        # "Batched multi-origin convergence"). 1 = the scalar per-scenario
+        # path, byte-identical outcomes either way.
+        self.batch_origins = batch_origins
         # One metrics sink flows through everything the lab drives —
         # engine convergences, cache lookups, executor runs, sweep spans
         # (see docs/performance.md); the default NULL_METRICS is a no-op.
@@ -111,6 +122,7 @@ class HijackLab:
         clone.workers = self.workers
         clone.validate = self.validate
         clone.backend = self.backend
+        clone.batch_origins = self.batch_origins
         clone.metrics = self.metrics
         clone.view = self.view
         clone.engine = self.engine
@@ -120,6 +132,12 @@ class HijackLab:
     # -- internals -----------------------------------------------------------------
 
     def _legitimate_state(self, target_node: int) -> RouteState:
+        # A batched lab keys every baseline in the cache's *batched* key
+        # space (cache entries computed by converge_batch never alias the
+        # scalar ones — see docs/performance.md), so single lookups and
+        # batched prewarms stay coherent within one lab.
+        if self.batch_origins > 1:
+            return self.cache.baseline_batch(self.engine, (target_node,))[0]
         return self.cache.baseline(self.engine, target_node)
 
     def _executor(self, workers: int | None) -> SweepExecutor:
@@ -232,6 +250,87 @@ class HijackLab:
         not an observable one.
         """
         return self._executor(workers).run(list(scenarios))
+
+    def run_scenario_batch(
+        self, scenarios: Sequence[HijackScenario]
+    ) -> list[AttackOutcome]:
+        """Execute a batch of scenarios through fused convergence passes.
+
+        Outcome-identical to ``[run_scenario(s) for s in scenarios]`` in
+        the same order — batching is a wall-clock knob, never a result
+        knob. Scenarios sharing a base state (same target's legitimate
+        baseline for origin/leak attacks, the clean state for
+        sub-prefix/squat) are grouped and converged ``batch_origins`` at
+        a time via :meth:`RoutingEngine.converge_batch
+        <repro.bgp.engine.RoutingEngine.converge_batch>`. With
+        ``batch_origins=1`` (the default lab) or a single scenario this
+        is exactly the scalar loop.
+        """
+        scenarios = list(scenarios)
+        if self.batch_origins <= 1 or len(scenarios) <= 1:
+            return [self.run_scenario(scenario) for scenario in scenarios]
+        view = self.view
+        outcomes: list[AttackOutcome | None] = [None] * len(scenarios)
+        # (index, scenario, attacker node, claimed path, blocked, first-hop)
+        prepared: list[tuple[int, HijackScenario, int, tuple[int, ...], frozenset[int], bool]] = []
+        groups: dict[int | None, list[int]] = {}
+        for index, scenario in enumerate(scenarios):
+            target_node = view.node_of(scenario.target_asn)
+            attacker_node = view.node_of(scenario.attacker_asn)
+            if target_node == attacker_node:
+                raise ValueError(
+                    "attacker and target collapse into one routing node "
+                    f"(sibling group) for AS{scenario.attacker_asn}/AS{scenario.target_asn}"
+                )
+            claimed = self.claimed_path(scenario)
+            if claimed is None:
+                empty: frozenset[int] = frozenset()
+                outcomes[index] = AttackOutcome(
+                    scenario=scenario,
+                    polluted_asns=empty,
+                    blocked_asns=empty,
+                    address_fraction=self.plan.fraction_owned(empty),
+                    claimed_path=None,
+                )
+                continue
+            blocked = self.defense.blocking_nodes(
+                view, scenario.prefix, scenario.attacker_asn, claimed_path=claimed
+            )
+            first_hop = self._first_hop_filtered(scenario.attacker_asn)
+            base_node = (
+                target_node
+                if scenario.kind in (HijackKind.ORIGIN, HijackKind.ROUTE_LEAK)
+                else None
+            )
+            groups.setdefault(base_node, []).append(len(prepared))
+            prepared.append(
+                (index, scenario, attacker_node, claimed, blocked, first_hop)
+            )
+        for base_node, members in groups.items():
+            base = self._legitimate_state(base_node) if base_node is not None else None
+            for start in range(0, len(members), self.batch_origins):
+                chunk = [prepared[member] for member in members[start:start + self.batch_origins]]
+                states = self.engine.converge_batch(
+                    [entry[2] for entry in chunk],
+                    base=base,
+                    blocked_sets=[entry[4] for entry in chunk],
+                    first_hop_flags=[entry[5] for entry in chunk],
+                    origin_lengths=[len(entry[3]) - 1 for entry in chunk],
+                )
+                for (index, scenario, attacker_node, claimed, blocked, _), state in zip(
+                    chunk, states
+                ):
+                    polluted_nodes = state.holders_of(attacker_node)
+                    polluted_asns = view.expand(polluted_nodes) - {scenario.attacker_asn}
+                    outcomes[index] = AttackOutcome(
+                        scenario=scenario,
+                        polluted_asns=polluted_asns,
+                        blocked_asns=view.expand(blocked),
+                        address_fraction=self.plan.fraction_owned(polluted_asns),
+                        claimed_path=claimed,
+                    )
+        assert all(outcome is not None for outcome in outcomes)
+        return outcomes  # type: ignore[return-value]
 
     # -- single attacks ---------------------------------------------------------------
 
@@ -418,6 +517,96 @@ class HijackLab:
             scenario.attacker_asn: outcome
             for scenario, outcome in zip(scenarios, results)
         }
+
+    def sweep_deployments(
+        self,
+        target_asn: int,
+        strategies: Sequence["DeploymentStrategy"],
+        authority: "OriginAuthority | None",
+        *,
+        transit_only: bool = True,
+        sample: int | None = None,
+        seed: int | None = None,
+    ) -> list[dict[int, AttackOutcome]]:
+        """Sweep one target across a whole deployment ladder, warm-started.
+
+        The Fig. 5/6 workload — one type-0 origin-hijack sweep per
+        deployment rung — without a cold convergence per (attacker, rung)
+        point: each attacker's state is copied from the target's
+        legitimate baseline *once*, then every rung applies its blocked
+        set in place via :meth:`RoutingEngine.converge_delta_batch
+        <repro.bgp.engine.RoutingEngine.converge_delta_batch>` and is
+        rewound through the undo journal before the next rung (adjacent
+        deployment sets differ by a handful of ASes, so re-announcing
+        over the reverted state is the whole warm start). Attacker pool
+        and sampling are exactly :meth:`sweep_target`'s, so rung *i*'s
+        outcome dict is item-identical to
+        ``with_defense(Defense(strategy=strategies[i], authority=authority))
+        .sweep_target(target_asn, ...)``.
+        """
+        pool: Sequence[int] = self.attacker_pool(transit_only=transit_only)
+        target_node = self.view.node_of(target_asn)
+        pool = tuple(
+            asn
+            for asn in pool
+            if asn != target_asn and self.view.node_of(asn) != target_node
+        )
+        if sample is not None and sample < len(pool):
+            rng = make_rng(self.seed if seed is None else seed, "sweep", target_asn)
+            pool = tuple(sorted(rng.sample(pool, sample)))
+        prefix = self.attack_prefix(target_asn, HijackKind.ORIGIN)
+        defenses = [
+            Defense(strategy=strategy, authority=authority)
+            for strategy in strategies
+        ]
+        view = self.view
+        legit = self._legitimate_state(target_node)
+        results: list[dict[int, AttackOutcome]] = [{} for _ in defenses]
+        batch = max(1, self.batch_origins)
+        self.metrics.count("lab.deployment_sweeps")
+        with self.metrics.span("lab.sweep_deployments"):
+            for start in range(0, len(pool), batch):
+                attackers = pool[start:start + batch]
+                nodes = [view.node_of(asn) for asn in attackers]
+                scenarios = [
+                    self.build_scenario(target_asn, asn, prefix=prefix)
+                    for asn in attackers
+                ]
+                states = [legit.copy_for(node) for node in nodes]
+                for rung, defense in enumerate(defenses):
+                    blocked_sets = [
+                        defense.blocking_nodes(
+                            view, prefix, asn, claimed_path=(asn,)
+                        )
+                        for asn in attackers
+                    ]
+                    first_hop_flags = [
+                        defense.stub_filter and not self.graph.customers(asn)
+                        for asn in attackers
+                    ]
+                    deltas = self.engine.converge_delta_batch(
+                        states,
+                        nodes,
+                        blocked_sets=blocked_sets,
+                        first_hop_flags=first_hop_flags,
+                    )
+                    for scenario, node, state, blocked in zip(
+                        scenarios, nodes, states, blocked_sets
+                    ):
+                        polluted_asns = (
+                            view.expand(state.holders_of(node))
+                            - {scenario.attacker_asn}
+                        )
+                        results[rung][scenario.attacker_asn] = AttackOutcome(
+                            scenario=scenario,
+                            polluted_asns=polluted_asns,
+                            blocked_asns=view.expand(blocked),
+                            address_fraction=self.plan.fraction_owned(polluted_asns),
+                            claimed_path=(scenario.attacker_asn,),
+                        )
+                    for state, delta in zip(states, deltas):
+                        delta.revert(state)
+        return results
 
     def random_attacks(
         self,

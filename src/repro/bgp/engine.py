@@ -198,15 +198,22 @@ class RoutingEngine:
         if backend != "reference":
             # Imported lazily: the reference path must not pay the numpy
             # import, and kernel.py type-checks against this module.
-            from repro.bgp.kernel import compile_view, propagate_array, resolve_backend
+            from repro.bgp.kernel import (
+                compile_view,
+                propagate_array,
+                propagate_array_batch,
+                resolve_backend,
+            )
 
             self.backend = resolve_backend(backend)
             self._compiled = compile_view(view)
             self._propagate_array = propagate_array
+            self._propagate_array_batch = propagate_array_batch
         else:
             self.backend = backend
             self._compiled = None
             self._propagate_array = None
+            self._propagate_array_batch = None
 
     # -- public API ------------------------------------------------------------
 
@@ -258,6 +265,176 @@ class RoutingEngine:
                 origin_lengths={origin: origin_length} if origin_length else None,
             )
         return state
+
+    def _batch_params(
+        self,
+        count: int,
+        blocked_sets: Sequence[Collection[int]] | None,
+        first_hop_flags: Sequence[bool] | None,
+        origin_lengths: Sequence[int] | None,
+    ) -> tuple[list[frozenset[int]], list[bool], list[int]]:
+        """Normalize per-column batch knobs, defaulting like the scalar API."""
+        blocked = (
+            [frozenset()] * count
+            if blocked_sets is None
+            else [frozenset(entry) for entry in blocked_sets]
+        )
+        first_hop = (
+            [False] * count if first_hop_flags is None else list(first_hop_flags)
+        )
+        lengths = [0] * count if origin_lengths is None else list(origin_lengths)
+        if not (len(blocked) == len(first_hop) == len(lengths) == count):
+            raise ValueError("batch parameter lists must match the origin count")
+        return blocked, first_hop, lengths
+
+    def converge_batch(
+        self,
+        origins: Sequence[int],
+        *,
+        base: RouteState | None = None,
+        blocked_sets: Sequence[Collection[int]] | None = None,
+        first_hop_flags: Sequence[bool] | None = None,
+        origin_lengths: Sequence[int] | None = None,
+    ) -> list[RouteState]:
+        """Converge K independent announcements in one fused pass.
+
+        The batched analogue of :meth:`converge`: origin *i*'s returned
+        state is checksum-identical to
+        ``converge(origins[i], base=base, blocked=blocked_sets[i], ...)``
+        — columns of the batch never interact, the shared ``base`` (the
+        hijack-sweep shape: many attackers stacked on one legitimate
+        baseline) is tiled, never mutated. Per-column knobs default
+        exactly like the scalar API (no blocking, no stub filter, honest
+        origination).
+
+        On the array backend all K origins share one kernel invocation
+        over the memoized CSR, which is where the multi-origin speedup in
+        ``BENCH_scale.json`` comes from; the reference backend (and any
+        single-origin batch) falls back to a per-origin :meth:`converge`
+        loop — the fallback rule documented in ``docs/performance.md``.
+        """
+        origins = list(origins)
+        blocked, first_hop, lengths = self._batch_params(
+            len(origins), blocked_sets, first_hop_flags, origin_lengths
+        )
+        if self._propagate_array_batch is None or len(origins) <= 1:
+            return [
+                self.converge(
+                    origin,
+                    base=base,
+                    blocked=blocked[index],
+                    filter_first_hop_providers=first_hop[index],
+                    origin_length=lengths[index],
+                )
+                for index, origin in enumerate(origins)
+            ]
+        # Placeholder states: the kernel's write-back replaces every array,
+        # so pre-filling K RouteState.empty copies would be pure waste.
+        states = [
+            RouteState(origin=origin, cls=[], length=[], parent=[], origin_of=[])
+            for origin in origins
+        ]
+        messages, installs, replaced, rounds = self._propagate_array_batch(
+            self._compiled,
+            states,
+            origins,
+            blocked,
+            first_hop,
+            self.policy.tier1_shortest_path,
+            None,
+            lengths,
+            base=base,
+            fresh=base is None,
+        )
+        self._emit_convergence_metrics(messages, installs, replaced, rounds)
+        if self.validate:
+            from repro.oracle.invariants import check_route_state
+
+            for index, state in enumerate(states):
+                check_route_state(
+                    self.view,
+                    state,
+                    policy=self.policy,
+                    blocked=blocked[index],
+                    first_hop_filtered=first_hop[index],
+                    origin_lengths=(
+                        {origins[index]: lengths[index]} if lengths[index] else None
+                    ),
+                )
+        return states
+
+    def converge_delta_batch(
+        self,
+        states: Sequence[RouteState],
+        origins: Sequence[int],
+        *,
+        blocked_sets: Sequence[Collection[int]] | None = None,
+        first_hop_flags: Sequence[bool] | None = None,
+        origin_lengths: Sequence[int] | None = None,
+    ) -> list["ConvergenceDelta"]:
+        """Apply K in-place announcement passes in one fused sweep.
+
+        The batched analogue of :meth:`converge_delta`: pass *i* mutates
+        ``states[i]`` exactly as the scalar call would and returns the
+        identical per-pass undo journal, so deltas revert independently
+        in the usual newest-first order. This is the warm-start primitive
+        behind deployment sweeps: keep one mutable state per attacker,
+        apply a rung's blocked sets, read the outcome, revert, move to
+        the adjacent rung — never paying a cold convergence per rung.
+
+        The reference backend (and any single-state batch) loops the
+        scalar :meth:`converge_delta`; like it, this path never runs the
+        invariant suite itself.
+        """
+        states = list(states)
+        origins = list(origins)
+        if len(states) != len(origins):
+            raise ValueError("converge_delta_batch needs one state per origin")
+        blocked, first_hop, lengths = self._batch_params(
+            len(origins), blocked_sets, first_hop_flags, origin_lengths
+        )
+        if self._propagate_array_batch is None or len(origins) <= 1:
+            return [
+                self.converge_delta(
+                    state,
+                    origin,
+                    blocked=blocked[index],
+                    filter_first_hop_providers=first_hop[index],
+                    origin_length=lengths[index],
+                )
+                for index, (state, origin) in enumerate(zip(states, origins))
+            ]
+        for state in states:
+            if state.is_frozen:
+                raise ValueError(
+                    "converge_delta_batch needs mutable states; unfreeze or copy them"
+                )
+        prev_origins = [state.origin for state in states]
+        for state, origin in zip(states, origins):
+            state.origin = origin
+        journals: list[list[tuple[int, int, int, int, int]]] = [[] for _ in origins]
+        messages, installs, replaced, rounds = self._propagate_array_batch(
+            self._compiled,
+            states,
+            origins,
+            blocked,
+            first_hop,
+            self.policy.tier1_shortest_path,
+            journals,
+            lengths,
+        )
+        self._emit_convergence_metrics(messages, installs, replaced, rounds)
+        return [
+            ConvergenceDelta(
+                origin=origin,
+                prev_origin=prev_origins[index],
+                blocked=blocked[index],
+                first_hop_filtered=first_hop[index],
+                journal=journals[index],
+                origin_length=lengths[index],
+            )
+            for index, origin in enumerate(origins)
+        ]
 
     def converge_delta(
         self,

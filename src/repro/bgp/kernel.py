@@ -65,6 +65,7 @@ __all__ = [
     "CompiledTopology",
     "compile_view",
     "propagate_array",
+    "propagate_array_batch",
     "resolve_backend",
 ]
 
@@ -428,4 +429,284 @@ def propagate_array(
     state.length = (key & _LEN_MASK).tolist()
     state.parent = parent.tolist()
     state.origin_of = origin_of.tolist()
+    return messages, installs, replaced, len(buckets)
+
+
+_EMPTY64 = np.empty(0, dtype=np.int64)
+
+
+def propagate_array_batch(
+    topology: CompiledTopology,
+    states: "list[RouteState]",
+    origins: "list[int]",
+    blocked_sets: "list[frozenset[int]]",
+    first_hop_flags: "list[bool]",
+    tier1_shortest: bool,
+    journals: list[list[tuple[int, int, int, int, int]]] | None,
+    origin_lengths: "list[int]",
+    base: "RouteState | None" = None,
+    fresh: bool = False,
+) -> tuple[int, int, int, int]:
+    """Converge K independent announcement passes in one fused sweep.
+
+    The single-origin kernel above amortizes the interpreter over one
+    origin's frontier; this variant amortizes numpy's per-call overhead
+    over a whole sweep's origins too. Each origin is one *column* of a
+    flat ``K*N`` scratch layout (cell ``col*N + node``): columns never
+    read or write each other's cells, so the reverse-scatter tie-break,
+    the packed-key preference test and the CSR export gathers all run
+    once per ``(length, class)`` bucket over every column's candidates
+    concatenated.
+
+    Why each column is bit-identical to its single-origin pass: within a
+    bucket the flat candidate array keeps per-column push order (chunks
+    are appended in the same step order, and boolean filtering preserves
+    relative order), the first-occurrence scatter operates on flat cells
+    so selection restricted to one column picks exactly that column's
+    first candidates, and the preference test is per-cell. By induction
+    over bucket steps every column installs the same winners in the same
+    order as :func:`propagate_array` would — which is also why the
+    per-column undo journals (distributed from the global install stream
+    by a stable sort on the column index) match entry for entry.
+
+    Loading modes: ``fresh=True`` fills pristine scratch directly
+    (*states* may hold placeholder empty lists); ``base`` loads one
+    shared base state and tiles it across columns (the hijack-sweep
+    shape — K attackers stacked on one legitimate baseline) without K
+    Python-list copies; otherwise each of the K *states* is loaded into
+    its own column (the warm-start shape behind
+    :meth:`RoutingEngine.converge_delta_batch
+    <repro.bgp.engine.RoutingEngine.converge_delta_batch>`).
+
+    Mutates every state in place (write-back per column) and returns the
+    aggregate ``(messages, installs, replaced, rounds)``.
+    """
+    n = topology.size
+    k = len(origins)
+    total = n * k
+
+    if fresh:
+        key = np.full(total, _EMPTY_KEY, dtype=np.int64)
+        parent = np.full(total, -1, dtype=np.int32)
+        origin_of = np.full(total, -1, dtype=np.int32)
+    elif base is not None:
+        base_key = (np.asarray(base.cls, dtype=np.int64) << _LEN_BITS) | np.asarray(
+            base.length, dtype=np.int64
+        )
+        key = np.tile(base_key, k)
+        parent = np.tile(np.asarray(base.parent, dtype=np.int32), k)
+        origin_of = np.tile(np.asarray(base.origin_of, dtype=np.int32), k)
+    else:
+        key = np.concatenate(
+            [
+                (np.asarray(state.cls, dtype=np.int64) << _LEN_BITS)
+                | np.asarray(state.length, dtype=np.int64)
+                for state in states
+            ]
+        )
+        parent = np.concatenate(
+            [np.asarray(state.parent, dtype=np.int32) for state in states]
+        )
+        origin_of = np.concatenate(
+            [np.asarray(state.origin_of, dtype=np.int32) for state in states]
+        )
+
+    origins_np = np.asarray(origins, dtype=np.int32)
+    is_tier1_flat = np.tile(topology.is_tier1, k)
+    first_slot = np.full(total, -1, dtype=np.int64)
+
+    dropped = np.zeros(total, dtype=bool)
+    for col, (origin, blocked_set) in enumerate(zip(origins, blocked_sets)):
+        colbase = col * n
+        if blocked_set:
+            dropped[[colbase + node for node in blocked_set]] = True
+        dropped[colbase + origin] = True
+
+    for col, origin in enumerate(origins):
+        cell = col * n + origin
+        if journals is not None:
+            origin_key = int(key[cell])
+            journals[col].append(
+                (
+                    origin,
+                    origin_key >> _LEN_BITS,
+                    origin_key & _LEN_MASK,
+                    int(parent[cell]),
+                    int(origin_of[cell]),
+                )
+            )
+        key[cell] = (_CLASS_ORIGIN << _LEN_BITS) | origin_lengths[col]
+        parent[cell] = -1
+        origin_of[cell] = origin
+
+    buckets: list[list[list[tuple[np.ndarray, np.ndarray]]] | None] = []
+
+    def push(route_length: int, class_offset: int, cells: np.ndarray, senders: np.ndarray) -> None:
+        if cells.size == 0:
+            return
+        while len(buckets) <= route_length:
+            buckets.append(None)
+        bucket = buckets[route_length]
+        if bucket is None:
+            bucket = [[], [], []]
+            buckets[route_length] = bucket
+        bucket[class_offset].append((cells, senders))
+
+    def gather_flat(indptr: np.ndarray, cells: np.ndarray) -> tuple[np.ndarray, np.ndarray, np.ndarray]:
+        # The multi-range CSR gather of CompiledTopology.gather, lifted to
+        # flat cells: returns (positions, sender node ids, column bases)
+        # so the caller can rebase gathered targets into their columns.
+        cols, nodes = np.divmod(cells, n)
+        starts = indptr[nodes]
+        counts = indptr[nodes + 1] - starts
+        out = int(counts.sum())
+        if out == 0:
+            return _EMPTY64, _EMPTY64, _EMPTY64
+        ends = np.cumsum(counts)
+        shift = np.repeat(starts - (ends - counts), counts)
+        positions = np.arange(out, dtype=np.int64) + shift
+        return positions, np.repeat(nodes, counts), np.repeat(cols * n, counts)
+
+    def push_exports(cells: np.ndarray, route_class: int, next_length: int) -> None:
+        if route_class in (_CLASS_ORIGIN, _CLASS_CUSTOMER):
+            positions, senders, colbase = gather_flat(topology.export_indptr, cells)
+            if positions.size == 0:
+                return
+            targets = colbase + topology.export_indices[positions]
+            kinds = topology.export_kinds[positions]
+            for class_offset in (0, 1, 2):
+                mask = kinds == class_offset
+                push(next_length, class_offset, targets[mask], senders[mask])
+        else:
+            positions, senders, colbase = gather_flat(topology.customer_indptr, cells)
+            if positions.size == 0:
+                return
+            push(next_length, 2, colbase + topology.customer_indices[positions], senders)
+
+    for col, origin in enumerate(origins):
+        colbase = col * n
+        first_hop_length = origin_lengths[col] + 1
+        origin_is_stub = (
+            topology.customer_indptr[origin + 1] == topology.customer_indptr[origin]
+        )
+        if first_hop_flags[col] and origin_is_stub:
+            origin_arr = np.array([origin], dtype=np.int32)
+            peers, senders = topology.neighbors(
+                topology.peer_indptr, topology.peer_indices, origin_arr
+            )
+            push(first_hop_length, 1, colbase + peers.astype(np.int64), senders)
+            customers, senders = topology.neighbors(
+                topology.customer_indptr, topology.customer_indices, origin_arr
+            )
+            push(first_hop_length, 2, colbase + customers.astype(np.int64), senders)
+        else:
+            push_exports(
+                np.array([colbase + origin], dtype=np.int64),
+                _CLASS_ORIGIN,
+                first_hop_length,
+            )
+
+    # Journal records accumulate as column-tagged arrays during the loop
+    # and are distributed per column afterwards: a stable sort on the
+    # column index keeps each column's global install order intact.
+    j_cols: list[np.ndarray] = []
+    j_nodes: list[np.ndarray] = []
+    j_cls: list[np.ndarray] = []
+    j_len: list[np.ndarray] = []
+    j_parent: list[np.ndarray] = []
+    j_origin: list[np.ndarray] = []
+
+    messages = 0
+    installs = 0
+    replaced = 0
+    route_length = 0
+    while route_length < len(buckets):
+        bucket = buckets[route_length]
+        if bucket is not None:
+            for class_offset, route_class in enumerate(
+                (_CLASS_CUSTOMER, _CLASS_PEER, _CLASS_PROVIDER)
+            ):
+                chunks = bucket[class_offset]
+                if not chunks:
+                    continue
+                if len(chunks) == 1:
+                    cells, senders = chunks[0]
+                else:
+                    cells = np.concatenate([chunk[0] for chunk in chunks])
+                    senders = np.concatenate([chunk[1] for chunk in chunks])
+                messages += int(cells.size)
+                keep = ~dropped[cells]
+                if not keep.all():
+                    cells = cells[keep]
+                    senders = senders[keep]
+                if cells.size == 0:
+                    continue
+                slots = np.arange(cells.size, dtype=np.int64)
+                first_slot[cells[::-1]] = slots[::-1]
+                sel = first_slot[cells] == slots
+                first_slot[cells] = -1
+                cand_cells = cells[sel]
+                cand_senders = senders[sel]
+                incumbent_key = key[cand_cells]
+                cand_key = (route_class << _LEN_BITS) | route_length
+                beats = cand_key < incumbent_key
+                if tier1_shortest:
+                    beats = np.where(
+                        is_tier1_flat[cand_cells],
+                        route_length < (incumbent_key & _LEN_MASK),
+                        beats,
+                    )
+                if not beats.any():
+                    continue
+                winners = cand_cells[beats]
+                winner_senders = cand_senders[beats]
+                displaced_key = incumbent_key[beats]
+                installs += int(winners.size)
+                replaced += int(((displaced_key >> _LEN_BITS) != _NO_CLASS).sum())
+                cols = winners // n
+                if journals is not None:
+                    j_cols.append(cols)
+                    j_nodes.append(winners - cols * n)
+                    j_cls.append(displaced_key >> _LEN_BITS)
+                    j_len.append(displaced_key & _LEN_MASK)
+                    j_parent.append(parent[winners].astype(np.int64))
+                    j_origin.append(origin_of[winners].astype(np.int64))
+                key[winners] = cand_key
+                parent[winners] = winner_senders
+                origin_of[winners] = origins_np[cols]
+                push_exports(winners, route_class, route_length + 1)
+        route_length += 1
+
+    if journals is not None and j_cols:
+        cols_all = np.concatenate(j_cols)
+        order = np.argsort(cols_all, kind="stable")
+        sorted_cols = cols_all[order]
+        nodes_sorted = np.concatenate(j_nodes)[order]
+        cls_sorted = np.concatenate(j_cls)[order]
+        len_sorted = np.concatenate(j_len)[order]
+        parent_sorted = np.concatenate(j_parent)[order]
+        origin_sorted = np.concatenate(j_origin)[order]
+        bounds = np.searchsorted(sorted_cols, np.arange(k + 1))
+        for col in range(k):
+            lo, hi = int(bounds[col]), int(bounds[col + 1])
+            if lo == hi:
+                continue
+            journals[col].extend(
+                zip(
+                    nodes_sorted[lo:hi].tolist(),
+                    cls_sorted[lo:hi].tolist(),
+                    len_sorted[lo:hi].tolist(),
+                    parent_sorted[lo:hi].tolist(),
+                    origin_sorted[lo:hi].tolist(),
+                )
+            )
+
+    key_grid = key.reshape(k, n)
+    parent_grid = parent.reshape(k, n)
+    origin_grid = origin_of.reshape(k, n)
+    for col, state in enumerate(states):
+        state.cls = (key_grid[col] >> _LEN_BITS).tolist()
+        state.length = (key_grid[col] & _LEN_MASK).tolist()
+        state.parent = parent_grid[col].tolist()
+        state.origin_of = origin_grid[col].tolist()
     return messages, installs, replaced, len(buckets)

@@ -41,7 +41,13 @@ from repro.core.vulnerability import profile_target
 from repro.experiments.config import ExperimentConfig
 from repro.experiments.store import ResultStore
 from repro.experiments.suite import ExperimentSuite
-from repro.obs.bench import PROFILES, run_bench, run_scale_bench, run_stream_bench
+from repro.obs.bench import (
+    PROFILES,
+    run_batch_bench,
+    run_bench,
+    run_scale_bench,
+    run_stream_bench,
+)
 from repro.obs.metrics import NULL_METRICS, Metrics
 from repro.topology.caida import dump_caida, load_caida
 from repro.topology.classify import summarize
@@ -69,6 +75,12 @@ def build_parser() -> argparse.ArgumentParser:
     parser.add_argument(
         "--backend", choices=("reference", "array"), default="reference",
         help="convergence kernel (checksum-identical; array is faster at scale)",
+    )
+    parser.add_argument(
+        "--batch-origins", type=int, default=1, metavar="N",
+        help="fuse N scenarios per convergence pass on the array backend and "
+             "warm-start deployment ladders (outcome-identical; see "
+             "docs/performance.md)",
     )
     parser.add_argument(
         "--metrics", type=Path, default=None, metavar="PATH",
@@ -163,9 +175,10 @@ def build_parser() -> argparse.ArgumentParser:
     )
     bench.add_argument("--profile", choices=sorted(PROFILES), default="smoke")
     bench.add_argument(
-        "--suite", choices=("core", "stream", "scale"), default="core",
+        "--suite", choices=("core", "stream", "scale", "batch"), default="core",
         help="core: sweep/cache/overhead benchmark; stream: event-streaming "
-             "benchmark; scale: array vs reference backends at CAIDA scale",
+             "benchmark; scale: array vs reference backends at CAIDA scale; "
+             "batch: batched multi-origin sweeps and warm-started ladders",
     )
     bench.add_argument(
         "-o", "--output", type=Path, default=None,
@@ -254,6 +267,7 @@ def _cmd_attack(args: argparse.Namespace) -> int:
     lab = HijackLab(
         _topology(args), seed=args.seed, validate=args.validate,
         metrics=_metrics(args), backend=args.backend,
+        batch_origins=args.batch_origins,
     )
     kind_name = args.kind or ("subprefix" if args.subprefix else "origin")
     scenario = lab.build_scenario(
@@ -287,6 +301,7 @@ def _cmd_sweep(args: argparse.Namespace) -> int:
     lab = HijackLab(
         _topology(args), seed=args.seed, validate=args.validate,
         metrics=_metrics(args), backend=args.backend,
+        batch_origins=args.batch_origins,
     )
     from repro.attacks.scenario import HijackKind, PathKind
 
@@ -314,6 +329,7 @@ def _cmd_figure(args: argparse.Namespace) -> int:
         detection_attacks=args.attacks,
         validate=args.validate,
         backend=args.backend,
+        batch_origins=args.batch_origins,
     )
     suite = ExperimentSuite(config, metrics=_metrics(args))
     names = _EXPERIMENTS if args.name == "all" else (args.name,)
@@ -334,7 +350,7 @@ def _cmd_figure(args: argparse.Namespace) -> int:
 def _cmd_plan(args: argparse.Namespace) -> int:
     lab = HijackLab(
         _topology(args), seed=args.seed, metrics=_metrics(args),
-        backend=args.backend,
+        backend=args.backend, batch_origins=args.batch_origins,
     )
     planner = SelfInterestPlanner(lab)
     action_plan = planner.plan(args.region, target_asn=args.target)
@@ -347,7 +363,7 @@ def _cmd_calibrate(args: argparse.Namespace) -> int:
 
     lab = HijackLab(
         _topology(args), seed=args.seed, metrics=_metrics(args),
-        backend=args.backend,
+        backend=args.backend, batch_origins=args.batch_origins,
     )
     report = calibrate(
         lab,
@@ -384,7 +400,8 @@ def _cmd_validate(args: argparse.Namespace) -> int:
     # 2. Invariant suite + determinism on a generated (calibrated) topology.
     graph = generate_topology(GeneratorConfig.scaled(args.as_count, seed=args.seed))
     lab = HijackLab(
-        graph, seed=args.seed, metrics=_metrics(args), backend=args.backend
+        graph, seed=args.seed, metrics=_metrics(args), backend=args.backend,
+        batch_origins=args.batch_origins,
     )
     rng = make_rng(args.seed, "cli-validate")
     pool = lab.attacker_pool(transit_only=True)
@@ -447,6 +464,8 @@ def _cmd_bench(args: argparse.Namespace) -> int:
         return _bench_stream(args, sink)
     if args.suite == "scale":
         return _bench_scale(args, sink)
+    if args.suite == "batch":
+        return _bench_batch(args, sink)
     payload, path = run_bench(
         args.profile,
         output=args.output,
@@ -521,8 +540,49 @@ def _bench_scale(args: argparse.Namespace, sink: Metrics) -> int:
         f"{payload['speedups']['single_origin']:.2f}x "
         f"(hijack stacking {payload['speedups']['hijack']:.2f}x)"
     )
+    print(
+        f"multi-origin: {derived['batch_origins_timed']} announcements on a "
+        f"shared baseline, fused converge_batch vs the per-origin array "
+        f"loop — {payload['speedups']['multi_origin_batch']:.2f}x "
+        f"({derived['batch_origin_s'] * 1000:.1f} ms/origin batched)"
+    )
     if not derived["checksums_consistent"]:
         print("ERROR: array backend checksums diverged from reference",
+              file=sys.stderr)
+        return 1
+    print(f"wrote {path}")
+    return 0
+
+
+def _bench_batch(args: argparse.Namespace, sink: Metrics) -> int:
+    payload, path = run_batch_bench(
+        args.profile,
+        output=args.output,
+        metrics=sink if sink.enabled else None,
+    )
+    timings = payload["timings"]
+    derived = payload["derived"]
+    rows = [(key, round(value, 4)) for key, value in sorted(timings.items())]
+    print(render_table(
+        ("phase", "seconds"), rows, title=f"batch bench profile: {args.profile}"
+    ))
+    print(
+        f"sweep of {derived['attackers']} attackers at {derived['as_count']} "
+        f"ASes: batched ({derived['batch_origins']} origins/chunk) "
+        f"{payload['speedups']['sweep_batch']:.2f}x over per-attack "
+        f"convergence"
+    )
+    print(
+        f"deployment ladder ({derived['rungs']} rungs): warm-started "
+        f"journal path {payload['speedups']['deployment_warm']:.2f}x over "
+        f"cold per-rung sweeps"
+    )
+    if not derived["outcomes_consistent"]:
+        print("ERROR: batched sweep outcomes diverged from per-attack sweep",
+              file=sys.stderr)
+        return 1
+    if not derived["ladder_consistent"]:
+        print("ERROR: warm-started ladder diverged from cold per-rung sweeps",
               file=sys.stderr)
         return 1
     print(f"wrote {path}")
@@ -559,7 +619,7 @@ def _cmd_stream(args: argparse.Namespace) -> int:
     metrics = _metrics(args)
     lab = HijackLab(
         graph, seed=args.seed, validate=args.validate, metrics=metrics,
-        backend=args.backend,
+        backend=args.backend, batch_origins=args.batch_origins,
     )
     if args.input is not None:
         events = read_events(args.input)
@@ -632,6 +692,7 @@ def _cmd_report(args: argparse.Namespace) -> int:
         attacker_sample=args.sample,
         detection_attacks=args.attacks,
         backend=args.backend,
+        batch_origins=args.batch_origins,
     )
     suite = ExperimentSuite(config, metrics=_metrics(args))
     results = []

@@ -104,7 +104,31 @@ def compare_strategies(
     the optimistic stub-filtered scenario. Every rung shares the lab's
     convergence cache, so the target's baseline converges once for the
     whole ladder; ``workers`` parallelizes each rung's sweep.
+
+    A lab built with ``batch_origins > 1`` takes the warm-started path
+    instead (:meth:`HijackLab.sweep_deployments`): attacker states are
+    copied from the baseline once and every rung is applied and rewound
+    through the ``converge_delta`` undo journal, batch-fused across
+    attackers — item-identical outcomes per rung, a fraction of the
+    wall-clock (see ``docs/performance.md``).
     """
+    if lab.batch_origins > 1:
+        per_rung = lab.sweep_deployments(
+            target_asn, strategies, authority,
+            transit_only=transit_only, sample=sample, seed=seed,
+        )
+        return DeploymentComparison(
+            target_asn=target_asn,
+            evaluations=tuple(
+                StrategyEvaluation(
+                    strategy=strategy,
+                    profile=VulnerabilityProfile.from_outcomes(
+                        target_asn, outcomes.values(), label=strategy.name
+                    ),
+                )
+                for strategy, outcomes in zip(strategies, per_rung)
+            ),
+        )
     evaluations: list[StrategyEvaluation] = []
     for strategy in strategies:
         defended = lab.with_defense(Defense(strategy=strategy, authority=authority))

@@ -40,6 +40,9 @@ class ExperimentConfig:
     convergence kernel (``"reference"`` or ``"array"``); both are
     checksum-identical, so like ``workers`` it changes wall-clock only,
     never a result (see the Backends section of docs/performance.md).
+    ``batch_origins`` fuses that many scenarios per convergence pass on
+    the array backend (and warm-starts deployment ladders through the
+    undo journal) — outcome-identical like the other wall-clock knobs.
     """
 
     topology: GeneratorConfig = field(default_factory=GeneratorConfig)
@@ -52,6 +55,7 @@ class ExperimentConfig:
     workers: int = 1
     validate: bool = False
     backend: str = "reference"
+    batch_origins: int = 1
 
     def scaled(self, *, attacker_sample: int | None, detection_attacks: int) -> "ExperimentConfig":
         """A copy with different workload sizes (used by fast CI runs)."""
@@ -66,6 +70,7 @@ class ExperimentConfig:
             workers=self.workers,
             validate=self.validate,
             backend=self.backend,
+            batch_origins=self.batch_origins,
         )
 
 

@@ -72,6 +72,7 @@ class ExperimentSuite:
             validate=self.config.validate,
             metrics=self.metrics,
             backend=self.config.backend,
+            batch_origins=self.config.batch_origins,
         )
         self.roles: RoleCatalog = resolve_roles(self.graph)
         self.publication = PublicationState.full(self.lab.plan)
@@ -468,6 +469,7 @@ class ExperimentSuite:
                 plan=self.lab.plan, policy=self.lab.policy, seed=self.config.seed,
                 workers=self.config.workers, validate=self.config.validate,
                 metrics=self.metrics, backend=self.config.backend,
+                batch_origins=self.config.batch_origins,
             )
             after = regional_attack_study(
                 rehomed_lab, target, region,

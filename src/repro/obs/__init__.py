@@ -14,14 +14,17 @@ See ``docs/performance.md`` for the BENCH schema and the CI gate.
 """
 
 from repro.obs.bench import (
+    BATCH_PROFILES,
     PROFILES,
     SCALE_PROFILES,
     SCHEMA,
     STREAM_PROFILES,
+    BatchBenchProfile,
     BenchProfile,
     ScaleBenchProfile,
     StreamBenchProfile,
     env_fingerprint,
+    run_batch_bench,
     run_bench,
     run_scale_bench,
     run_stream_bench,
@@ -45,6 +48,8 @@ def __getattr__(name: str):
     raise AttributeError(f"module {__name__!r} has no attribute {name!r}")
 
 __all__ = [
+    "BATCH_PROFILES",
+    "BatchBenchProfile",
     "BenchComparison",
     "BenchProfile",
     "Metrics",
@@ -60,6 +65,7 @@ __all__ = [
     "TimingDelta",
     "env_fingerprint",
     "load_bench",
+    "run_batch_bench",
     "run_bench",
     "run_scale_bench",
     "run_stream_bench",

@@ -33,6 +33,8 @@ from typing import Mapping
 from repro.obs.metrics import NULL_METRICS, Metrics
 
 __all__ = [
+    "BATCH_PROFILES",
+    "BatchBenchProfile",
     "BenchProfile",
     "PROFILES",
     "SCALE_PROFILES",
@@ -41,6 +43,7 @@ __all__ = [
     "ScaleBenchProfile",
     "StreamBenchProfile",
     "env_fingerprint",
+    "run_batch_bench",
     "run_bench",
     "run_scale_bench",
     "run_stream_bench",
@@ -509,6 +512,11 @@ class ScaleBenchProfile:
     hijacks: int = 2
     repeats: int = 3
     seed: int = 2014
+    # Multi-origin workload width: this many announcements are stacked on
+    # a shared baseline as one fused converge_batch pass and as a
+    # per-origin array loop, the ratio being the batched kernel's
+    # headline (speedups.multi_origin_batch).
+    batch_origins: int = 16
 
 
 # tiny: seconds-cheap, the per-PR CI gate (scale-smoke step); smoke: a
@@ -543,13 +551,18 @@ def run_scale_bench(
     * ``converge_reference_s`` / ``converge_array_s`` — the same
       ``origins`` single-origin convergences per backend (sum over
       origins, best of ``repeats`` passes);
+    * ``converge_multi_array_s`` / ``converge_batch_s`` — the same
+      ``batch_origins`` announcements stacked on one shared converged
+      baseline, as a per-origin array loop vs one fused
+      :meth:`~repro.bgp.engine.RoutingEngine.converge_batch` pass
+      (``speedups.multi_origin_batch``);
     * ``hijack_reference_s`` / ``hijack_array_s`` — attacker
       announcements stacked on a converged baseline (the non-fresh
       state path).
 
     Every timed convergence and hijack is checksum-compared between the
-    backends (``derived.checksums_consistent``); the headline ratio is
-    ``speedups.single_origin``.
+    backends (``derived.checksums_consistent``); the headline ratios are
+    ``speedups.single_origin`` and ``speedups.multi_origin_batch``.
     """
     import tempfile
 
@@ -598,6 +611,43 @@ def run_scale_bench(
     rng = make_rng(profile.seed, "scale-bench")
     nodes = len(view)
     origins = sorted(rng.sample(range(nodes), profile.origins))
+    base_target = rng.randrange(nodes)
+    batch_set = sorted(rng.sample(range(nodes), profile.batch_origins))
+
+    # Multi-origin batched phase: the hijack-sweep shape the batched
+    # kernel exists for — ``batch_origins`` attacker announcements
+    # stacked on one shared converged baseline, as a per-origin array
+    # loop vs one fused ``converge_batch`` pass. The loop pays the
+    # baseline's list→array load once per origin; the batch loads it
+    # once and tiles. The ratio is the batched kernel's headline
+    # (``speedups.multi_origin_batch``); every pair of states is
+    # checksum-compared. This phase runs first: the reference kernel's
+    # convergences churn millions of short-lived Python objects, and the
+    # resulting heap fragmentation taxes both of these paths by the same
+    # absolute amount per origin — which would compress the ratio for
+    # reasons that have nothing to do with either kernel.
+    base_state = array.converge(base_target)
+
+    def time_multi(convert) -> tuple[float, list[str]]:
+        best = float("inf")
+        checksums: list[str] = []
+        for _ in range(profile.repeats):
+            start = time.perf_counter()
+            states = convert()
+            best = min(best, time.perf_counter() - start)
+            checksums = [state.checksum() for state in states]
+        return best, checksums
+
+    with timed("converge_multi_array_total_s"):
+        multi_array_s, multi_array_sums = time_multi(
+            lambda: [array.converge(origin, base=base_state) for origin in batch_set]
+        )
+    with timed("converge_batch_total_s"):
+        batch_s, batch_sums = time_multi(
+            lambda: array.converge_batch(batch_set, base=base_state)
+        )
+    timings["converge_multi_array_s"] = multi_array_s
+    timings["converge_batch_s"] = batch_s
 
     def time_backend(engine: RoutingEngine) -> tuple[float, list[str]]:
         best = float("inf")
@@ -618,7 +668,9 @@ def run_scale_bench(
         array_s, array_sums = time_backend(array)
     timings["converge_reference_s"] = reference_s
     timings["converge_array_s"] = array_s
-    checksums_consistent = reference_sums == array_sums
+    checksums_consistent = (
+        reference_sums == array_sums and multi_array_sums == batch_sums
+    )
 
     # Hijack stacking exercises the non-fresh path: the attacker's
     # announcement converges on top of a copied baseline state.
@@ -660,6 +712,7 @@ def run_scale_bench(
             "single_origin": reference_s / max(array_s, 1e-9),
             "hijack": timings["hijack_reference_s"]
             / max(timings["hijack_array_s"], 1e-9),
+            "multi_origin_batch": multi_array_s / max(batch_s, 1e-9),
         },
         "derived": {
             "as_count": len(graph),
@@ -668,10 +721,192 @@ def run_scale_bench(
             "origins_timed": profile.origins,
             "reference_origin_s": reference_s / profile.origins,
             "array_origin_s": array_s / profile.origins,
+            "batch_origins_timed": profile.batch_origins,
+            "array_multi_origin_s": multi_array_s / profile.batch_origins,
+            "batch_origin_s": batch_s / profile.batch_origins,
             "checksums_consistent": checksums_consistent,
         },
     }
     path = Path(output) if output is not None else Path("BENCH_scale.json")
+    path.parent.mkdir(parents=True, exist_ok=True)
+    path.write_text(json.dumps(payload, indent=2, sort_keys=True), encoding="utf-8")
+    return payload, path
+
+
+@dataclass(frozen=True)
+class BatchBenchProfile:
+    """Scale knobs for ``repro-bgp bench --suite batch``.
+
+    The workload is the batched lab end to end, array backend on both
+    sides so batching is the only variable: a full vulnerability sweep
+    with ``batch_origins=1`` vs the same sweep chunk-fused through
+    :meth:`~repro.attacks.lab.HijackLab.run_scenario_batch`, and a
+    ``rungs``-deep paper deployment ladder swept cold (one
+    ``with_defense`` sweep per rung) vs warm-started through
+    :meth:`~repro.attacks.lab.HijackLab.sweep_deployments` (attack
+    states converged once, each rung applied and rewound through the
+    ``converge_delta`` undo journal). Outcomes are compared
+    item-by-item across each pair of paths.
+    """
+
+    name: str
+    as_count: int
+    sweep_sample: int
+    batch_origins: int = 16
+    rungs: int = 4
+    repeats: int = 3
+    seed: int = 2014
+
+
+# tiny: seconds-cheap, the per-PR CI gate (batch-smoke step); smoke: a
+# mid-scale local check; default: the profile behind the committed
+# BENCH_batch.json baseline.
+BATCH_PROFILES: Mapping[str, BatchBenchProfile] = {
+    "tiny": BatchBenchProfile(
+        "tiny", as_count=300, sweep_sample=24, batch_origins=8, rungs=2, repeats=2
+    ),
+    "smoke": BatchBenchProfile("smoke", as_count=2000, sweep_sample=200, rungs=3),
+    "default": BatchBenchProfile("default", as_count=4270, sweep_sample=400),
+}
+
+
+def run_batch_bench(
+    profile: BatchBenchProfile | str,
+    *,
+    output: str | Path | None = None,
+    metrics: Metrics | None = None,
+) -> tuple[dict[str, object], Path]:
+    """Benchmark batched vs unbatched lab paths; write ``BENCH_batch.json``.
+
+    Timed phases (each best of ``repeats`` passes; the convergence
+    caches warm up during the first pass, so best-of reports the steady
+    state for both paths alike):
+
+    * ``sweep_scalar_s`` / ``sweep_batch_s`` — one vulnerability sweep
+      of ``sweep_sample`` attackers, per-attack convergence vs
+      chunk-fused ``converge_batch`` (``speedups.sweep_batch``);
+    * ``deploy_cold_s`` / ``deploy_batch_s`` — a ``rungs``-deep paper
+      deployment ladder, one full sweep per rung vs the warm-started
+      journal path (``speedups.deployment_warm``).
+
+    ``derived.outcomes_consistent`` / ``derived.ladder_consistent``
+    assert the batched paths reproduce the unbatched outcomes
+    item-identically.
+    """
+    from repro.attacks.lab import HijackLab
+    from repro.core.deployment_analysis import compare_strategies
+    from repro.defense.strategies import paper_ladder
+    from repro.registry.publication import PublicationState
+    from repro.topology.generator import GeneratorConfig, generate_topology
+
+    if isinstance(profile, str):
+        try:
+            profile = BATCH_PROFILES[profile]
+        except KeyError:
+            raise ValueError(
+                f"unknown batch bench profile {profile!r}; "
+                f"choices: {sorted(BATCH_PROFILES)}"
+            ) from None
+    metrics = metrics if metrics is not None else Metrics()
+    timings: dict[str, float] = {}
+    bench_start = time.perf_counter()
+
+    def timed(key: str):
+        return _PhaseTimer(key, timings, metrics)
+
+    with timed("topology_s"):
+        graph = generate_topology(
+            GeneratorConfig.scaled(profile.as_count, seed=profile.seed)
+        )
+    scalar_lab = HijackLab(graph, seed=profile.seed, metrics=metrics, backend="array")
+    batched_lab = HijackLab(
+        graph,
+        seed=profile.seed,
+        metrics=metrics,
+        backend="array",
+        batch_origins=profile.batch_origins,
+    )
+    target = scalar_lab.attacker_pool(transit_only=True)[3]
+
+    def best_of(run) -> tuple[float, object]:
+        best = float("inf")
+        result = None
+        for _ in range(profile.repeats):
+            start = time.perf_counter()
+            result = run()
+            best = min(best, time.perf_counter() - start)
+        return best, result
+
+    # -- vulnerability sweep: per-attack vs chunk-fused convergence -------
+    with timed("sweep_scalar_total_s"):
+        scalar_s, scalar_outcomes = best_of(
+            lambda: scalar_lab.sweep_target(
+                target, transit_only=True, sample=profile.sweep_sample,
+                seed=profile.seed,
+            )
+        )
+    with timed("sweep_batch_total_s"):
+        batch_s, batch_outcomes = best_of(
+            lambda: batched_lab.sweep_target(
+                target, transit_only=True, sample=profile.sweep_sample,
+                seed=profile.seed,
+            )
+        )
+    timings["sweep_scalar_s"] = scalar_s
+    timings["sweep_batch_s"] = batch_s
+    outcomes_consistent = _outcomes_equal(scalar_outcomes, batch_outcomes)
+
+    # -- deployment ladder: cold per-rung sweeps vs warm-started rungs ----
+    ladder = paper_ladder(graph, seed=profile.seed)[: profile.rungs]
+    authority = PublicationState.full(scalar_lab.plan).table()
+
+    def run_ladder(lab: HijackLab):
+        return compare_strategies(
+            lab, target, ladder, authority,
+            transit_only=True, sample=profile.sweep_sample, seed=profile.seed,
+        )
+
+    with timed("deploy_cold_total_s"):
+        cold_s, cold_comparison = best_of(lambda: run_ladder(scalar_lab))
+    with timed("deploy_batch_total_s"):
+        warm_s, warm_comparison = best_of(lambda: run_ladder(batched_lab))
+    timings["deploy_cold_s"] = cold_s
+    timings["deploy_batch_s"] = warm_s
+    ladder_consistent = [
+        (evaluation.strategy.name, evaluation.profile.summary.as_dict())
+        for evaluation in cold_comparison.evaluations
+    ] == [
+        (evaluation.strategy.name, evaluation.profile.summary.as_dict())
+        for evaluation in warm_comparison.evaluations
+    ]
+
+    timings["total_s"] = time.perf_counter() - bench_start
+    snapshot = metrics.snapshot()
+    payload: dict[str, object] = {
+        "schema": SCHEMA,
+        "name": f"batch-{profile.name}",
+        "created": time.strftime("%Y-%m-%dT%H:%M:%SZ", time.gmtime()),
+        "config": asdict(profile),
+        "env": env_fingerprint(),
+        "timings": timings,
+        "counters": snapshot["counters"],
+        "gauges": snapshot["gauges"],
+        "spans": snapshot["spans"],
+        "speedups": {
+            "sweep_batch": scalar_s / max(batch_s, 1e-9),
+            "deployment_warm": cold_s / max(warm_s, 1e-9),
+        },
+        "derived": {
+            "as_count": len(graph),
+            "target_asn": target,
+            "attackers": len(scalar_outcomes),
+            "rungs": len(ladder),
+            "batch_origins": profile.batch_origins,
+            "outcomes_consistent": outcomes_consistent,
+            "ladder_consistent": ladder_consistent,
+        },
+    }
+    path = Path(output) if output is not None else Path("BENCH_batch.json")
     path.parent.mkdir(parents=True, exist_ok=True)
     path.write_text(json.dumps(payload, indent=2, sort_keys=True), encoding="utf-8")
     return payload, path

@@ -30,6 +30,7 @@ import hashlib
 import weakref
 from collections import OrderedDict
 from dataclasses import dataclass, fields
+from typing import Sequence
 
 from repro.bgp.engine import RouteState, RoutingEngine
 from repro.bgp.policy import PolicyConfig
@@ -73,19 +74,31 @@ def _policy_digest(policy: PolicyConfig) -> str:
 
 
 def context_digest(
-    view: RoutingView, policy: PolicyConfig, backend: str = "reference"
+    view: RoutingView,
+    policy: PolicyConfig,
+    backend: str = "reference",
+    batched: bool = False,
 ) -> str:
-    """The cache-key prefix identifying one (topology, policy, backend)
-    context.
+    """The cache-key prefix identifying one (topology, policy, backend,
+    batch-shape) context.
 
     The backend is part of the key even though both kernels are
     checksum-identical by contract: a cached state must always be
     attributable to the engine configuration that produced it, so a
     backend regression can never hide behind a warm cache (a backend
     switch is a cold start, by design — see the regression test in
-    ``tests/test_parallel_cache.py``).
+    ``tests/test_parallel_cache.py``). ``batched`` extends the same rule
+    to the convergence *shape*: states computed through
+    :meth:`RoutingEngine.converge_batch
+    <repro.bgp.engine.RoutingEngine.converge_batch>` live in their own
+    key space and can never alias scalar single-origin entries (nor vice
+    versa), so a batched-kernel regression is equally unable to hide.
+    The key records the shape *class*, not the batch width — the set of
+    origins a batched miss converges together depends on transient cache
+    state, so an exact-K key could never be reproduced at lookup time.
     """
-    return f"{_view_digest(view)}:{_policy_digest(policy)}:{backend}"
+    shape = ":batched" if batched else ""
+    return f"{_view_digest(view)}:{_policy_digest(policy)}:{backend}{shape}"
 
 
 @dataclass
@@ -171,9 +184,11 @@ class ConvergenceCache:
 
         check_cache_coherence(self)
 
-    def contains(self, engine: RoutingEngine, origin: int) -> bool:
+    def contains(
+        self, engine: RoutingEngine, origin: int, *, batched: bool = False
+    ) -> bool:
         return (
-            context_digest(engine.view, engine.policy, engine.backend),
+            context_digest(engine.view, engine.policy, engine.backend, batched),
             origin,
         ) in self._entries
 
@@ -209,3 +224,51 @@ class ConvergenceCache:
             self.stats.evictions += 1
             self.metrics.count("cache.evictions")
         return state
+
+    def baseline_batch(
+        self, engine: RoutingEngine, origins: "Sequence[int]"
+    ) -> list[RouteState]:
+        """Clean converged states for several origins, one fused miss pass.
+
+        The batched analogue of :meth:`baseline`: hits are served from
+        the cache's *batched* key space
+        (``context_digest(..., batched=True)`` — scalar entries never
+        alias, see :func:`context_digest`), and every miss in the request
+        is converged in a single :meth:`RoutingEngine.converge_batch
+        <repro.bgp.engine.RoutingEngine.converge_batch>` call before
+        being frozen and inserted. Returns the states in request order;
+        duplicate origins share one entry.
+        """
+        context = context_digest(engine.view, engine.policy, engine.backend, True)
+        found: dict[int, RouteState] = {}
+        missing: list[int] = []
+        for origin in origins:
+            if origin in found or origin in missing:
+                continue
+            key = (context, origin)
+            entry = self._entries.get(key)
+            if entry is None:
+                self.stats.misses += 1
+                self.metrics.count("cache.misses")
+                missing.append(origin)
+                continue
+            state, inserted_checksum = entry
+            if self.verify and inserted_checksum != state.checksum():
+                raise RuntimeError(
+                    f"cached baseline for origin {origin} was mutated in place"
+                )
+            self._entries.move_to_end(key)
+            self.stats.hits += 1
+            self.metrics.count("cache.hits")
+            found[origin] = state
+        if missing:
+            for origin, state in zip(missing, engine.converge_batch(missing)):
+                state.freeze()
+                self._entries[(context, origin)] = (state, state.checksum())
+                self.metrics.count("cache.inserts")
+                found[origin] = state
+            while len(self._entries) > self.capacity:
+                self._entries.popitem(last=False)
+                self.stats.evictions += 1
+                self.metrics.count("cache.evictions")
+        return [found[origin] for origin in origins]

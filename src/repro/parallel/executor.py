@@ -75,7 +75,10 @@ def _run_chunk(
     lab = _WORKER_LAB
     assert lab is not None, "worker forked without a lab installed"
     start = time.perf_counter()
-    outcomes = [lab.run_scenario(scenario) for scenario in chunk]
+    # run_scenario_batch degrades to the scalar per-scenario loop unless
+    # the lab was built with batch_origins > 1 — outcomes are identical
+    # either way, so workers and the sequential path share one call site.
+    outcomes = lab.run_scenario_batch(chunk)
     return time.perf_counter() - start, outcomes
 
 
@@ -159,7 +162,7 @@ class SweepExecutor:
         ):
             metrics.gauge("executor.workers", 1)
             with metrics.span("executor.run"):
-                return [self.lab.run_scenario(scenario) for scenario in scenarios]
+                return self.lab.run_scenario_batch(list(scenarios))
 
         global _WORKER_LAB
         start = time.perf_counter()

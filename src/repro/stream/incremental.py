@@ -112,28 +112,28 @@ def full_converge(
     incremental path saves.
 
     With ``engine.validate`` the chain itself runs unvalidated (each
-    pass's parameters describe only that pass, not the stacked state)
-    and the invariant suite runs once on the final state with the full
+    pass's parameters describe only that pass, not the stacked state —
+    and ``converge_delta`` never validates by contract) and the
+    invariant suite runs once on the final state with the full
     announcement history — the same check the ledger applies.
+
+    The chain runs as in-place :meth:`~repro.bgp.engine.RoutingEngine
+    .converge_delta` passes over one mutable state (journals discarded):
+    identical final arrays by the delta contract, without the O(N) base
+    copy ``converge(base=...)`` would pay per entry.
     """
-    state: RouteState | None = None
-    runner = engine
-    if engine.validate:
-        runner = RoutingEngine(
-            engine.view,
-            engine.policy,
-            metrics=engine.metrics,
-            backend=engine.backend,
-        )
+    if not entries:
+        return None
+    state = RouteState.empty(len(engine.view), entries[0].origin)
     for entry in entries:
-        state = runner.converge(
+        engine.converge_delta(
+            state,
             entry.origin,
-            base=state,
             blocked=entry.blocked,
             filter_first_hop_providers=entry.first_hop_filtered,
             origin_length=entry.origin_length,
         )
-    if engine.validate and state is not None:
+    if engine.validate:
         _validate_chain(engine, state, entries)
     return state
 

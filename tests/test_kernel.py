@@ -136,3 +136,94 @@ class TestMiniConvergence:
             origin, blocked=blocked, filter_first_hop_providers=filter_first_hop
         )
         assert ref.checksum() == arr.checksum()
+
+
+class TestBatchedKernel:
+    """Unit coverage of ``converge_batch``/``converge_delta_batch`` on the
+    hand-verifiable topology — the heavy batched coverage lives in
+    ``tests/property/test_batched_equivalence.py``."""
+
+    def test_fresh_batch_columns_match_scalar_converges(self, mini_view):
+        engine = RoutingEngine(mini_view, backend="array")
+        origins = [0, 2, 0, len(mini_view) - 1]  # duplicates allowed
+        batch = engine.converge_batch(origins)
+        assert [state.origin for state in batch] == origins
+        for origin, state in zip(origins, batch):
+            assert state.checksum() == engine.converge(origin).checksum()
+
+    def test_per_column_knobs_apply_independently(self, mini_view):
+        engine = RoutingEngine(mini_view, backend="array")
+        stub = mini_view.node_of(50)
+        blocked = frozenset({mini_view.node_of(40)})
+        origins = [stub, stub, stub]
+        batch = engine.converge_batch(
+            origins,
+            blocked_sets=[frozenset(), blocked, frozenset()],
+            first_hop_flags=[False, False, True],
+            origin_lengths=[0, 0, 2],
+        )
+        assert batch[0].checksum() == engine.converge(stub).checksum()
+        assert batch[1].checksum() == engine.converge(stub, blocked=blocked).checksum()
+        assert (
+            batch[2].checksum()
+            == engine.converge(
+                stub, filter_first_hop_providers=True, origin_length=2
+            ).checksum()
+        )
+        assert batch[0].checksum() != batch[1].checksum()
+
+    def test_shared_base_batch_leaves_base_untouched(self, mini_view):
+        engine = RoutingEngine(mini_view, backend="array")
+        base = engine.converge(0)
+        base_sum = base.checksum()
+        attackers = [2, 3]
+        batch = engine.converge_batch(attackers, base=base)
+        for attacker, state in zip(attackers, batch):
+            assert (
+                state.checksum()
+                == engine.converge(attacker, base=base).checksum()
+            )
+        assert base.checksum() == base_sum
+
+    def test_reference_backend_falls_back_to_scalar_loop(self, mini_view):
+        reference = RoutingEngine(mini_view)
+        array = RoutingEngine(mini_view, backend="array")
+        origins = [0, 1, 2]
+        ref_batch = reference.converge_batch(origins)
+        arr_batch = array.converge_batch(origins)
+        assert [s.checksum() for s in ref_batch] == [
+            s.checksum() for s in arr_batch
+        ]
+
+    def test_mismatched_parameter_lengths_raise(self, mini_view):
+        engine = RoutingEngine(mini_view, backend="array")
+        with pytest.raises(ValueError, match="match the origin count"):
+            engine.converge_batch([0, 1], blocked_sets=[frozenset()])
+        with pytest.raises(ValueError, match="match the origin count"):
+            engine.converge_batch([0, 1], first_hop_flags=[True])
+
+    def test_delta_batch_journals_revert_to_base(self, mini_view):
+        engine = RoutingEngine(mini_view, backend="array")
+        reference = RoutingEngine(mini_view)
+        base = engine.converge(0)
+        origins = [2, 3]
+        states = [base.copy_for(origin) for origin in origins]
+        before = [state.checksum() for state in states]
+        deltas = engine.converge_delta_batch(states, origins)
+        for index, origin in enumerate(origins):
+            scalar_state = base.copy_for(origin)
+            scalar_delta = reference.converge_delta(scalar_state, origin)
+            assert deltas[index].journal == scalar_delta.journal
+            assert states[index].checksum() == scalar_state.checksum()
+        for index, delta in enumerate(deltas):
+            delta.revert(states[index])
+        assert [state.checksum() for state in states] == before
+
+    def test_delta_batch_rejects_frozen_or_mismatched_states(self, mini_view):
+        engine = RoutingEngine(mini_view, backend="array")
+        base = engine.converge(0)
+        with pytest.raises(ValueError):
+            engine.converge_delta_batch([base.copy_for(2)], [2, 3])
+        frozen = base.copy_for(2).freeze()
+        with pytest.raises(ValueError):
+            engine.converge_delta_batch([frozen], [2])

@@ -12,6 +12,7 @@ import pytest
 
 from repro.attacks.lab import HijackLab
 from repro.obs import (
+    BATCH_PROFILES,
     NULL_METRICS,
     PROFILES,
     SCALE_PROFILES,
@@ -21,6 +22,7 @@ from repro.obs import (
     SpanStats,
     STREAM_PROFILES,
     env_fingerprint,
+    run_batch_bench,
     run_bench,
     run_scale_bench,
     run_stream_bench,
@@ -274,9 +276,12 @@ class TestScaleBench:
         assert set(tiny_payload["timings"]) >= {
             "fixture_s", "parse_s", "compile_s",
             "converge_reference_s", "converge_array_s",
+            "converge_multi_array_s", "converge_batch_s",
             "hijack_reference_s", "hijack_array_s", "total_s",
         }
-        assert set(tiny_payload["speedups"]) == {"single_origin", "hijack"}
+        assert set(tiny_payload["speedups"]) == {
+            "single_origin", "multi_origin_batch", "hijack",
+        }
 
     def test_name_carries_profile(self, tiny_payload):
         assert tiny_payload["name"] == "scale-tiny"
@@ -287,9 +292,12 @@ class TestScaleBench:
         between the backends; a divergence would land here first."""
         assert tiny_payload["derived"]["checksums_consistent"] is True
         assert tiny_payload["speedups"]["single_origin"] > 0
+        assert tiny_payload["speedups"]["multi_origin_batch"] > 0
         assert tiny_payload["speedups"]["hijack"] > 0
         assert tiny_payload["derived"]["as_count"] == SCALE_PROFILES["tiny"].as_count
         assert tiny_payload["derived"]["links"] > 0
+        batch = tiny_payload["derived"]["batch_origins_timed"]
+        assert batch == SCALE_PROFILES["tiny"].batch_origins
 
     def test_round_trips_through_load_bench(self, tmp_path):
         payload, path = run_scale_bench("tiny", output=tmp_path / "s.json")
@@ -299,6 +307,52 @@ class TestScaleBench:
     def test_unknown_profile_rejected(self):
         with pytest.raises(ValueError, match="unknown scale bench profile"):
             run_scale_bench("nope")
+
+
+class TestBatchBench:
+    @pytest.fixture(scope="class")
+    def tiny_payload(self, tmp_path_factory):
+        path = tmp_path_factory.mktemp("bench") / "BENCH_batch.json"
+        payload, written = run_batch_bench("tiny", output=path)
+        assert written == path
+        return payload
+
+    def test_schema_snapshot(self, tiny_payload):
+        assert tiny_payload["schema"] == SCHEMA
+        assert set(tiny_payload) == {
+            "schema", "name", "created", "config", "env",
+            "timings", "counters", "gauges", "spans", "speedups", "derived",
+        }
+        # The keys the batch-smoke CI gate diffs by name.
+        assert set(tiny_payload["timings"]) >= {
+            "topology_s", "sweep_scalar_s", "sweep_batch_s",
+            "deploy_cold_s", "deploy_batch_s", "total_s",
+        }
+        assert set(tiny_payload["speedups"]) == {"sweep_batch", "deployment_warm"}
+
+    def test_name_carries_profile(self, tiny_payload):
+        assert tiny_payload["name"] == "batch-tiny"
+        assert tiny_payload["config"]["as_count"] == BATCH_PROFILES["tiny"].as_count
+        batch = tiny_payload["derived"]["batch_origins"]
+        assert batch == BATCH_PROFILES["tiny"].batch_origins
+
+    def test_batched_paths_reproduce_unbatched_outcomes(self, tiny_payload):
+        """The bench compares every sweep outcome and ladder evaluation
+        item-by-item; a batched divergence would land here first."""
+        assert tiny_payload["derived"]["outcomes_consistent"] is True
+        assert tiny_payload["derived"]["ladder_consistent"] is True
+        assert tiny_payload["speedups"]["sweep_batch"] > 0
+        assert tiny_payload["speedups"]["deployment_warm"] > 0
+        assert tiny_payload["derived"]["rungs"] == BATCH_PROFILES["tiny"].rungs
+
+    def test_round_trips_through_load_bench(self, tmp_path):
+        payload, path = run_batch_bench("tiny", output=tmp_path / "b.json")
+        assert load_bench(path)["name"] == "batch-tiny"
+        assert json.loads(path.read_text()) == json.loads(json.dumps(payload))
+
+    def test_unknown_profile_rejected(self):
+        with pytest.raises(ValueError, match="unknown batch bench profile"):
+            run_batch_bench("nope")
 
 
 def _payload(name="smoke", **timings):
