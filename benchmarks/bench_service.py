@@ -1,0 +1,64 @@
+"""BENCH-SERVICE — the always-on monitoring daemon's arrive→verdict path.
+
+Not a paper figure: this benchmark tracks the monitoring service's
+steady-state loop (see ``docs/service.md``) — JSONL lines pushed through
+the sharded ingest plane (:class:`~repro.service.shards.ShardPlane`)
+with a verdict poll after each, which is exactly what the asyncio daemon
+does per request, minus the I/O.
+
+It runs :func:`repro.obs.bench.run_service_bench` once (the same routine
+behind ``repro-bgp bench --suite service``, profile picked by
+``REPRO_BENCH_SERVICE_PROFILE``), writes the schema-versioned
+``BENCH_service.json`` under ``results/`` for the bench-smoke CI gate's
+compare differ, and asserts:
+
+* every shard count produced the identical verdict set — sharding must
+  change wall-clock only (``derived.verdicts_consistent``);
+* every injected garbage line was skipped and counted, never fatal;
+* each confirmed attack actually produced a verdict at every shard
+  count.
+"""
+
+from __future__ import annotations
+
+from benchmarks.conftest import RESULTS_DIR, SERVICE_PROFILE
+
+from repro.obs.bench import run_service_bench
+from repro.util.tables import render_table
+
+
+def test_service_bench(benchmark, bench_metrics):
+    payload, path = benchmark.pedantic(
+        run_service_bench,
+        args=(SERVICE_PROFILE,),
+        kwargs={
+            "output": RESULTS_DIR / "BENCH_service.json",
+            "metrics": bench_metrics,
+        },
+        rounds=1,
+        iterations=1,
+    )
+    derived = payload["derived"]
+    per_shard = derived["shards"]
+
+    rows = []
+    for shards, stats in sorted(per_shard.items(), key=lambda item: int(item[0])):
+        rows.append((
+            shards,
+            round(stats["events_per_s"], 1),
+            stats["verdicts"],
+            stats["malformed"],
+            round((stats["latency_p50_s"] or 0.0) * 1000, 3),
+            round((stats["latency_p95_s"] or 0.0) * 1000, 3),
+        ))
+    print()
+    print(render_table(
+        ("shards", "events/s", "verdicts", "malformed", "p50 ms", "p95 ms"),
+        rows,
+        title=f"BENCH-SERVICE profile: {SERVICE_PROFILE} → {path}",
+    ))
+
+    assert derived["verdicts_consistent"] is True
+    for stats in per_shard.values():
+        assert stats["malformed"] == derived["malformed_lines"]
+        assert stats["verdicts"] > 0

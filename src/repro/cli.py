@@ -46,6 +46,7 @@ from repro.obs.bench import (
     run_batch_bench,
     run_bench,
     run_scale_bench,
+    run_service_bench,
     run_stream_bench,
 )
 from repro.obs.metrics import NULL_METRICS, Metrics
@@ -59,7 +60,7 @@ __all__ = ["main", "build_parser"]
 _EXPERIMENTS = (
     "fig1", "fig2", "fig3", "fig4", "fig5", "fig6", "fig7",
     "tab1", "tab2", "tab3", "tab4", "tab5", "nz_rehoming", "nz_filter",
-    "ext_subprefix", "attack_matrix",
+    "ext_subprefix", "attack_matrix", "service_latency",
 )
 
 _KIND_CHOICES = ("origin", "subprefix", "squat", "route-leak")
@@ -175,10 +176,13 @@ def build_parser() -> argparse.ArgumentParser:
     )
     bench.add_argument("--profile", choices=sorted(PROFILES), default="smoke")
     bench.add_argument(
-        "--suite", choices=("core", "stream", "scale", "batch"), default="core",
+        "--suite", choices=("core", "stream", "scale", "batch", "service"),
+        default="core",
         help="core: sweep/cache/overhead benchmark; stream: event-streaming "
              "benchmark; scale: array vs reference backends at CAIDA scale; "
-             "batch: batched multi-origin sweeps and warm-started ladders",
+             "batch: batched multi-origin sweeps and warm-started ladders; "
+             "service: monitoring-daemon ingest/verdict loop across shard "
+             "counts",
     )
     bench.add_argument(
         "-o", "--output", type=Path, default=None,
@@ -216,6 +220,36 @@ def build_parser() -> argparse.ArgumentParser:
                             help="write the JSON report here (default: stdout)")
     stream_cmd.add_argument("--validate", action="store_true",
                             help="run the invariant checker on every convergence")
+    stream_cmd.add_argument("--fail-on-hijack", action="store_true",
+                            help="exit 1 if any CONFIRMED verdict (hijack / "
+                                 "forged-path / route-leak) fires — for CI "
+                                 "pipelines")
+
+    serve = subparsers.add_parser(
+        "serve",
+        help="run the always-on multi-tenant hijack-monitoring daemon "
+             "(JSON API; see docs/service.md)",
+    )
+    serve.add_argument("--host", default="127.0.0.1")
+    serve.add_argument("--port", type=int, default=8470,
+                       help="listen port (0 = pick a free one)")
+    serve.add_argument("--shards", type=int, default=2,
+                       help="per-prefix ledger shards (worker pipelines)")
+    serve.add_argument("--as-count", type=int, default=4270)
+    serve.add_argument("--topology", type=Path, default=None,
+                       help="CAIDA-format topology file "
+                            "(default: generate --as-count ASes)")
+    serve.add_argument("--probes",
+                       choices=("tier1", "bgpmon", "top-degree"),
+                       default="top-degree", help="monitor vantage-point set")
+    serve.add_argument("--batch-window", type=float, default=0.0,
+                       help="coalescing window in virtual seconds")
+    serve.add_argument("--queue-limit", type=int, default=64,
+                       help="pending events before a backpressure flush")
+    serve.add_argument("-i", "--input", type=Path, default=None,
+                       help="JSONL event feed to ingest at startup")
+    serve.add_argument("--follow", action="store_true",
+                       help="keep tailing --input for new lines")
 
     report = subparsers.add_parser(
         "report", help="run every experiment and write EXPERIMENTS.md"
@@ -466,6 +500,8 @@ def _cmd_bench(args: argparse.Namespace) -> int:
         return _bench_scale(args, sink)
     if args.suite == "batch":
         return _bench_batch(args, sink)
+    if args.suite == "service":
+        return _bench_service(args, sink)
     payload, path = run_bench(
         args.profile,
         output=args.output,
@@ -589,6 +625,102 @@ def _bench_batch(args: argparse.Namespace, sink: Metrics) -> int:
     return 0
 
 
+def _bench_service(args: argparse.Namespace, sink: Metrics) -> int:
+    payload, path = run_service_bench(
+        args.profile,
+        output=args.output,
+        metrics=sink if sink.enabled else None,
+    )
+    timings = payload["timings"]
+    derived = payload["derived"]
+    rows = [(key, round(value, 4)) for key, value in sorted(timings.items())]
+    print(render_table(
+        ("phase", "seconds"), rows, title=f"service bench profile: {args.profile}"
+    ))
+    for shards, stats in sorted(derived["shards"].items(), key=lambda kv: int(kv[0])):
+        p50 = stats["latency_p50_s"]
+        p95 = stats["latency_p95_s"]
+        print(
+            f"shards={shards}: {stats['events_per_s']:.0f} events/s, "
+            f"{stats['verdicts']} verdict(s), latency p50 "
+            f"{p50 * 1000:.2f} ms / p95 {p95 * 1000:.2f} ms"
+            if p50 is not None and p95 is not None
+            else f"shards={shards}: {stats['events_per_s']:.0f} events/s, "
+                 f"{stats['verdicts']} verdict(s)"
+        )
+    print(
+        f"shard scaling {payload['speedups']['shard_scaling']:.2f}x over "
+        f"{derived['lines']} lines ({derived['malformed_lines']} malformed)"
+    )
+    if not derived["verdicts_consistent"]:
+        print("ERROR: verdicts diverged across shard counts", file=sys.stderr)
+        return 1
+    print(f"wrote {path}")
+    return 0
+
+
+def _cmd_serve(args: argparse.Namespace) -> int:
+    import asyncio
+
+    from repro.detection.probes import (
+        bgpmon_like_probes,
+        tier1_probes,
+        top_degree_probes,
+    )
+    from repro.service import MonitorService, ServiceDaemon
+
+    if args.topology is not None:
+        graph = load_caida(args.topology)
+    else:
+        graph = generate_topology(
+            GeneratorConfig.scaled(args.as_count, seed=args.seed)
+        )
+    metrics = _metrics(args)
+    lab = HijackLab(
+        graph, seed=args.seed, metrics=metrics,
+        backend=args.backend, batch_origins=args.batch_origins,
+    )
+    probe_sets = {
+        "tier1": tier1_probes,
+        "bgpmon": bgpmon_like_probes,
+        "top-degree": top_degree_probes,
+    }
+    service = MonitorService(
+        lab,
+        shards=args.shards,
+        probes=probe_sets[args.probes](graph),
+        batch_window=args.batch_window,
+        queue_limit=args.queue_limit,
+        metrics=metrics,
+    )
+    daemon = ServiceDaemon(service, host=args.host, port=args.port)
+
+    async def _run() -> None:
+        await daemon.start()
+        print(
+            f"service listening on http://{daemon.host}:{daemon.port} "
+            f"({args.shards} shard(s), probes {service.plane.probes.name})",
+            flush=True,
+        )
+        if args.input is not None:
+            daemon.feed_file(args.input, follow=args.follow)
+        await daemon.wait_stopped()
+
+    try:
+        asyncio.run(_run())
+    except KeyboardInterrupt:
+        pass
+    health = service.health()
+    print(
+        f"served {health['events']['ingested']} events "
+        f"({health['events']['malformed']} malformed) for "
+        f"{health['tenants']} tenant(s): {health['verdicts']} verdict(s), "
+        f"{health['mitigations']} mitigation(s)",
+        file=sys.stderr,
+    )
+    return 0
+
+
 def _cmd_stream(args: argparse.Namespace) -> int:
     import json
 
@@ -621,8 +753,12 @@ def _cmd_stream(args: argparse.Namespace) -> int:
         graph, seed=args.seed, validate=args.validate, metrics=metrics,
         backend=args.backend, batch_origins=args.batch_origins,
     )
+    events = None
     if args.input is not None:
-        events = read_events(args.input)
+        if args.compile_only is not None:
+            # Re-emitting a stream is tooling, not monitoring: strict
+            # parsing (any malformed line is an error) is the right call.
+            events = read_events(args.input)
     else:
         rng = make_rng(args.seed, "cli-stream")
         pool = lab.attacker_pool()
@@ -642,6 +778,7 @@ def _cmd_stream(args: argparse.Namespace) -> int:
             scenarios, publish_roas=args.publish_roas, dwell=args.dwell
         )
     if args.compile_only is not None:
+        assert events is not None
         path = write_events(args.compile_only, events)
         print(f"wrote {len(events)} events to {path}")
         return 0
@@ -659,7 +796,20 @@ def _cmd_stream(args: argparse.Namespace) -> int:
     )
     detector = HijackDetector(probes, authority=replayer.authority)
     replayer.monitor = OnlineMonitor(lab.view, detector, metrics=metrics)
-    report = replayer.run(events)
+    if events is None:
+        # Replaying a feed file: parse line by line through the replay
+        # engine's tolerant path, so one malformed line is skipped and
+        # counted (events.malformed in the report) instead of killing
+        # the whole run.
+        assert args.input is not None
+        with args.input.open("r", encoding="utf-8") as handle:
+            for raw_line in handle:
+                line = raw_line.strip()
+                if line:
+                    replayer.submit_line(line)
+        report = replayer.finish()
+    else:
+        report = replayer.run(events)
     payload = report.as_dict()
     text = json.dumps(payload, indent=2, sort_keys=True)
     if args.report is not None:
@@ -679,6 +829,19 @@ def _cmd_stream(args: argparse.Namespace) -> int:
         + (f", first at latency {latency} virtual s" if latency is not None else ""),
         file=sys.stderr,
     )
+    if args.fail_on_hijack:
+        from repro.service.daemon import CONFIRMED_VERDICTS
+
+        confirmed = [
+            alarm for alarm in monitor.alarms
+            if alarm.verdict in CONFIRMED_VERDICTS
+        ]
+        if confirmed:
+            print(
+                f"fail-on-hijack: {len(confirmed)} CONFIRMED verdict(s)",
+                file=sys.stderr,
+            )
+            return 1
     return 0
 
 
@@ -726,6 +889,7 @@ _HANDLERS = {
     "validate": _cmd_validate,
     "bench": _cmd_bench,
     "stream": _cmd_stream,
+    "serve": _cmd_serve,
     "report": _cmd_report,
 }
 

@@ -682,6 +682,141 @@ class ExperimentSuite:
         )
         return result
 
+    # -- extension: the always-on monitoring service --------------------------------------------
+
+    def service_latency(self) -> ExperimentResult:
+        """EXT-SERVICE: the live monitoring daemon vs the offline monitor.
+
+        The full 13-cell taxonomy campaign against the deep target is
+        serialized to the JSONL wire format and pushed through the
+        multi-tenant :class:`~repro.service.daemon.MonitorService` core
+        (ingest → shard-routed replay → verdict poll) at 1, 2 and 4
+        shards, measuring ingest throughput and the wall-clock
+        arrive→verdict latency per shard count. Every run is then
+        checked for **parity** against the offline reference — one
+        :class:`~repro.stream.replay.StreamReplayer` +
+        :class:`~repro.stream.monitor.OnlineMonitor` with the same
+        probes and the full path-aware detector — on the
+        (prefix, verdict, origins, invalid origins, virtual latency)
+        tuple set: sharding and the service plumbing must change
+        wall-clock only, never verdicts.
+        """
+        import json as _json
+        import time as _time
+
+        from repro.detection.detector import HijackDetector
+        from repro.detection.probes import top_degree_probes
+        from repro.detection.taxonomy import grid_cells
+        from repro.registry.neighbors import NeighborRegistry
+        from repro.service.daemon import MonitorService
+        from repro.service.tenants import LatencyStats
+        from repro.stream.events import RoaPublish, compile_scenario, event_to_dict
+        from repro.stream.monitor import OnlineMonitor
+        from repro.stream.replay import StreamReplayer
+        from repro.util.rng import make_rng
+
+        target = self.roles.deep_target
+        probes = top_degree_probes(self.graph, count=62)
+        rng = make_rng(self.config.seed, "service-latency")
+        target_node = self.lab.view.node_of(target)
+        pool = [
+            asn
+            for asn in self.lab.attacker_pool(transit_only=True)
+            if self.lab.view.node_of(asn) != target_node
+        ]
+        attackers = rng.sample(pool, min(len(pool), len(grid_cells())))
+
+        events = []
+        for index, (kind, path_kind) in enumerate(grid_cells()):
+            scenario = self.lab.build_scenario(
+                target,
+                attackers[index % len(attackers)],
+                kind=kind,
+                path_kind=path_kind,
+            )
+            events.extend(
+                compile_scenario(scenario, start=float(index * 4), dwell=2.0)
+            )
+        events.sort(key=lambda event: event.at)
+        lines = [
+            _json.dumps(event_to_dict(event), sort_keys=True, separators=(",", ":"))
+            for event in events
+        ]
+        victim_prefix = self.lab.target_prefix(target)
+
+        # The offline reference: one replayer, one monitor, the same
+        # full-ladder detector, fed the tenant's ROA before the stream.
+        reference = StreamReplayer(self.lab, metrics=self.metrics)
+        reference.monitor = OnlineMonitor(
+            self.lab.view,
+            HijackDetector(
+                probes,
+                authority=reference.authority,
+                neighbors=NeighborRegistry.from_graph(self.graph),
+                relationships=self.graph,
+            ),
+            metrics=self.metrics,
+        )
+        reference.submit(RoaPublish(at=0.0, prefix=victim_prefix, origin_asn=target))
+        reference.run(events)
+        reference_key = frozenset(
+            (
+                str(alarm.prefix), alarm.verdict, alarm.origins,
+                alarm.invalid_origins, alarm.latency_time,
+            )
+            for alarm in reference.monitor.alarms
+        )
+
+        rows: list[dict[str, object]] = []
+        for shards in (1, 2, 4):
+            service = MonitorService(
+                self.lab, shards=shards, probes=probes, metrics=self.metrics
+            )
+            service.register("victim", victim_prefix, target)
+            latencies = LatencyStats()
+            started = _time.perf_counter()
+            for line in lines:
+                arrived = _time.perf_counter()
+                service.ingest_line(line)
+                for _ in service.poll():
+                    latencies.add(_time.perf_counter() - arrived)
+            elapsed = _time.perf_counter() - started
+            service_key = frozenset(
+                (
+                    str(v.alarm.prefix), v.alarm.verdict, v.alarm.origins,
+                    v.alarm.invalid_origins, v.alarm.latency_time,
+                )
+                for v in service.verdicts
+            )
+            rows.append({
+                "shards": shards,
+                "events_per_s": round(
+                    service.plane.ingested / max(elapsed, 1e-9), 1
+                ),
+                "verdicts": len(service.verdicts),
+                "latency_p50_ms": round(
+                    (latencies.percentile(0.50) or 0.0) * 1000, 3
+                ),
+                "latency_p95_ms": round(
+                    (latencies.percentile(0.95) or 0.0) * 1000, 3
+                ),
+                "parity_with_offline": service_key == reference_key,
+            })
+        return ExperimentResult(
+            experiment_id="service_latency",
+            title="Extension: always-on service vs offline monitor",
+            summary={
+                "target": target,
+                "cells": len(grid_cells()),
+                "stream_events": len(events),
+                "offline_alarms": len(reference.monitor.alarms),
+                "parity_all_shards": all(
+                    row["parity_with_offline"] for row in rows
+                ),
+            },
+            tables={"service": rows},
+        )
+
     # -- everything ---------------------------------------------------------------------------
 
     def run(self, name: str) -> ExperimentResult:
@@ -699,5 +834,6 @@ class ExperimentSuite:
                 "fig1", "fig2", "fig3", "fig4", "fig5", "fig6",
                 "tab1", "tab2", "fig7", "tab3", "tab4", "tab5",
                 "nz_rehoming", "nz_filter", "ext_subprefix", "attack_matrix",
+                "service_latency",
             )
         ]

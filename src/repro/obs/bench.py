@@ -39,13 +39,16 @@ __all__ = [
     "PROFILES",
     "SCALE_PROFILES",
     "SCHEMA",
+    "SERVICE_PROFILES",
     "STREAM_PROFILES",
     "ScaleBenchProfile",
+    "ServiceBenchProfile",
     "StreamBenchProfile",
     "env_fingerprint",
     "run_batch_bench",
     "run_bench",
     "run_scale_bench",
+    "run_service_bench",
     "run_stream_bench",
 ]
 
@@ -907,6 +910,203 @@ def run_batch_bench(
         },
     }
     path = Path(output) if output is not None else Path("BENCH_batch.json")
+    path.parent.mkdir(parents=True, exist_ok=True)
+    path.write_text(json.dumps(payload, indent=2, sort_keys=True), encoding="utf-8")
+    return payload, path
+
+
+@dataclass(frozen=True)
+class ServiceBenchProfile:
+    """Scale knobs for ``repro-bgp bench --suite service``.
+
+    The workload is the daemon's steady-state loop measured through the
+    synchronous core (no HTTP, no event loop — those are I/O, not work):
+    a tenant registers the victim's prefix, a taxonomy-cell attack
+    campaign is serialized to JSONL, and every line is pushed through
+    ``ingest_line`` + ``poll`` — the arrive→verdict path — once per
+    shard count. ``malformed_lines`` garbage lines ride along to keep
+    the robustness path (skip + count, never die) inside the measured
+    loop. Per shard count the bench records ingest throughput
+    (events/sec) and the wall-clock p50/p95 of the arrive→verdict
+    latency; verdict sets must agree across shard counts
+    (``derived.verdicts_consistent``).
+    """
+
+    name: str
+    as_count: int
+    attacks: int
+    shard_counts: tuple[int, ...] = (1, 2, 4)
+    malformed_lines: int = 2
+    batch_window: float = 0.0
+    queue_limit: int = 64
+    seed: int = 2014
+
+
+# tiny: seconds-cheap, used by the unit tests; smoke: the per-PR CI gate
+# behind the committed BENCH_service.json baseline (full 13-cell grid);
+# default: the longer local trajectory run.
+SERVICE_PROFILES: Mapping[str, ServiceBenchProfile] = {
+    "tiny": ServiceBenchProfile(
+        "tiny", as_count=300, attacks=6, shard_counts=(1, 2)
+    ),
+    "smoke": ServiceBenchProfile("smoke", as_count=2000, attacks=13),
+    "default": ServiceBenchProfile("default", as_count=4270, attacks=26),
+}
+
+
+def run_service_bench(
+    profile: ServiceBenchProfile | str,
+    *,
+    output: str | Path | None = None,
+    metrics: Metrics | None = None,
+) -> tuple[dict[str, object], Path]:
+    """Benchmark the monitoring service and write ``BENCH_service.json``.
+
+    One timed phase per shard count (``service_shard<n>_s``): the same
+    serialized JSONL campaign — ``attacks`` attack-grid scenarios
+    against one registered tenant, plus ``malformed_lines`` garbage
+    lines — ingested line by line with a poll after each, which is the
+    daemon's arrive→verdict path. Derived per shard count: events/sec
+    and nearest-rank p50/p95 of the wall-clock latency from a line's
+    arrival to the poll that returned its verdict. The verdict sets of
+    every shard count are compared (``derived.verdicts_consistent``) —
+    sharding must change wall-clock only.
+    """
+    from repro.attacks.lab import HijackLab
+    from repro.detection.probes import top_degree_probes
+    from repro.detection.taxonomy import grid_cells
+    from repro.service.daemon import MonitorService
+    from repro.service.tenants import LatencyStats
+    from repro.stream.events import compile_scenario, event_to_dict
+    from repro.topology.generator import GeneratorConfig, generate_topology
+    from repro.util.rng import make_rng
+
+    if isinstance(profile, str):
+        try:
+            profile = SERVICE_PROFILES[profile]
+        except KeyError:
+            raise ValueError(
+                f"unknown service bench profile {profile!r}; "
+                f"choices: {sorted(SERVICE_PROFILES)}"
+            ) from None
+    metrics = metrics if metrics is not None else Metrics()
+    timings: dict[str, float] = {}
+    bench_start = time.perf_counter()
+
+    def timed(key: str):
+        return _PhaseTimer(key, timings, metrics)
+
+    with timed("topology_s"):
+        graph = generate_topology(
+            GeneratorConfig.scaled(profile.as_count, seed=profile.seed)
+        )
+    lab = HijackLab(graph, seed=profile.seed, metrics=metrics)
+    probes = top_degree_probes(graph)
+    rng = make_rng(profile.seed, "service-bench")
+    pool = lab.attacker_pool(transit_only=True)
+    target_asn = pool[3]
+    target_node = lab.view.node_of(target_asn)
+    attackers = [
+        asn for asn in rng.sample(pool, len(pool))
+        if lab.view.node_of(asn) != target_node
+    ]
+
+    # One deterministic JSONL workload shared by every shard count:
+    # attack-grid cells cycled over rotating attackers, plus bounded
+    # garbage to keep the malformed path inside the measured loop.
+    cells = grid_cells()
+    events = []
+    for index in range(profile.attacks):
+        kind, path_kind = cells[index % len(cells)]
+        scenario = lab.build_scenario(
+            target_asn,
+            attackers[index % len(attackers)],
+            kind=kind,
+            path_kind=path_kind,
+        )
+        events.extend(
+            compile_scenario(scenario, start=float(index * 4), dwell=2.0)
+        )
+    events.sort(key=lambda event: event.at)
+    lines = [
+        json.dumps(event_to_dict(event), sort_keys=True, separators=(",", ":"))
+        for event in events
+    ]
+    for garbage_index in range(profile.malformed_lines):
+        position = (garbage_index + 1) * len(lines) // (profile.malformed_lines + 1)
+        lines.insert(position, f'{{"kind": "announce", "broken": {garbage_index}')
+
+    verdict_sets: list[frozenset[tuple[str, str]]] = []
+    per_shard: dict[str, dict[str, object]] = {}
+    for shards in profile.shard_counts:
+        service = MonitorService(
+            lab,
+            shards=shards,
+            probes=probes,
+            batch_window=profile.batch_window,
+            queue_limit=profile.queue_limit,
+            metrics=metrics,
+        )
+        service.register("victim", lab.target_prefix(target_asn), target_asn)
+        latencies = LatencyStats()
+        with timed(f"service_shard{shards}_s"):
+            for line in lines:
+                arrived = time.perf_counter()
+                service.ingest_line(line)
+                fresh = service.poll()
+                if fresh:
+                    latency = time.perf_counter() - arrived
+                    for _ in fresh:
+                        latencies.add(latency)
+        elapsed = timings[f"service_shard{shards}_s"]
+        verdict_sets.append(
+            frozenset(
+                (str(verdict.alarm.prefix), verdict.alarm.verdict)
+                for verdict in service.verdicts
+            )
+        )
+        counts = service.plane.counts()
+        per_shard[str(shards)] = {
+            "events_per_s": counts["ingested"] / max(elapsed, 1e-9),
+            "verdicts": len(service.verdicts),
+            "malformed": counts["malformed"],
+            "latency_p50_s": latencies.percentile(0.50),
+            "latency_p95_s": latencies.percentile(0.95),
+        }
+        metrics.gauge(
+            f"service.bench.shard{shards}.events_per_s",
+            counts["ingested"] / max(elapsed, 1e-9),
+        )
+    verdicts_consistent = len(set(verdict_sets)) == 1
+
+    timings["total_s"] = time.perf_counter() - bench_start
+    snapshot = metrics.snapshot()
+    first = profile.shard_counts[0]
+    most = max(profile.shard_counts)
+    payload: dict[str, object] = {
+        "schema": SCHEMA,
+        "name": f"service-{profile.name}",
+        "created": time.strftime("%Y-%m-%dT%H:%M:%SZ", time.gmtime()),
+        "config": asdict(profile),
+        "env": env_fingerprint(),
+        "timings": timings,
+        "counters": snapshot["counters"],
+        "gauges": snapshot["gauges"],
+        "spans": snapshot["spans"],
+        "speedups": {
+            "shard_scaling": timings[f"service_shard{first}_s"]
+            / max(timings[f"service_shard{most}_s"], 1e-9),
+        },
+        "derived": {
+            "as_count": len(graph),
+            "attacks": profile.attacks,
+            "lines": len(lines),
+            "malformed_lines": profile.malformed_lines,
+            "shards": per_shard,
+            "verdicts_consistent": verdicts_consistent,
+        },
+    }
+    path = Path(output) if output is not None else Path("BENCH_service.json")
     path.parent.mkdir(parents=True, exist_ok=True)
     path.write_text(json.dumps(payload, indent=2, sort_keys=True), encoding="utf-8")
     return payload, path

@@ -216,6 +216,14 @@ def _check_stability(
         for receiver in receivers:
             if receiver in dropped_by:
                 continue  # the receiver drops this origin's announcements
+            if state.cls[receiver] == _ORIGIN:
+                # An announcer never replaces its own announcement with a
+                # learned route. Only claimed-path padding can make this
+                # matter: a tier-1 forging a type-N path holds its padded
+                # origin route even when length-only ranking says a
+                # neighbor's shorter offer "beats" it. Honest origins sit
+                # at length 0, which nothing can beat.
+                continue
             offered_class = _edge_class(view, receiver, exporter)
             assert offered_class is not None
             if not state.has_route(receiver):

@@ -184,6 +184,26 @@ class PrefixTrie(Generic[V]):
             return
         yield from self._walk(node, prefix.network, prefix.length)
 
+    def iter_covered(self, prefix: Prefix) -> Iterator[tuple[Prefix, V]]:
+        """All stored prefixes *strictly* inside *prefix*, in sorted order.
+
+        The sub-prefix-cover lookup: a tenant registered for a /24 must
+        also see announcements of any /25..../32 carved out of it (the
+        sub-prefix hijack shape), which are the entries this walk yields.
+        Unlike :meth:`covered_by` the query prefix itself is excluded.
+        """
+        node = self._find(prefix)
+        if node is None or prefix.length == 32:
+            return
+        for bit in (0, 1):
+            child = node.children[bit]
+            if child is not None:
+                yield from self._walk(
+                    child,
+                    prefix.network | (bit << (31 - prefix.length)),
+                    prefix.length + 1,
+                )
+
     def __iter__(self) -> Iterator[Prefix]:
         for prefix, _value in self.items():
             yield prefix

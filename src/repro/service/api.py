@@ -1,0 +1,373 @@
+"""The asyncio front-end: JSONL ingest workers and the JSON API.
+
+The daemon follows the sync-core / async-shell split: every decision
+lives in :class:`~repro.service.daemon.MonitorService`; this module only
+moves bytes. Three kinds of tasks run on the loop:
+
+* **ingest workers** — one per shard, each draining an
+  :class:`asyncio.Queue` into its shard's replayer, so independent
+  prefix families make progress independently;
+* an optional **feed task** tailing a JSONL file (``--input`` /
+  ``--follow``), the "tails event feeds" half of the ingest front-end;
+* the **HTTP server** — a deliberately minimal HTTP/1.1 implementation
+  over :func:`asyncio.start_server` (request line, headers,
+  ``Content-Length`` body; one request per connection), because the
+  stdlib-only constraint is part of the subsystem's contract.
+
+Endpoints (all JSON):
+
+====== ================================ =======================================
+GET    ``/health``                      service health incl. malformed counter
+GET    ``/metrics``                     :mod:`repro.obs` snapshot
+GET    ``/tenants``                     per-tenant stats + registrations
+GET    ``/tenants/<t>/stats``           one tenant's latency stats
+GET    ``/tenants/<t>/verdicts``        one tenant's verdicts
+GET    ``/verdicts``                    every verdict raised so far
+GET    ``/mitigations``                 auto-mitigation records
+POST   ``/tenants/<t>/prefixes``        register prefix+ROA (JSON body)
+POST   ``/tenants/<t>/deregister``      drop a registration (JSON body)
+POST   ``/events``                      ingest a JSONL batch, return verdicts
+POST   ``/flush``                       force a poll, return fresh verdicts
+POST   ``/shutdown``                    clean shutdown
+====== ================================ =======================================
+"""
+
+from __future__ import annotations
+
+import asyncio
+import json
+import threading
+from pathlib import Path
+
+from repro.service.daemon import MonitorService
+from repro.stream.events import StreamEvent, StreamFormatError, parse_event_line
+
+__all__ = ["ServiceDaemon", "ServiceThread"]
+
+_REASONS = {200: "OK", 400: "Bad Request", 404: "Not Found", 405: "Method Not Allowed"}
+
+
+class ServiceDaemon:
+    """The asyncio shell: queues, workers, feed task and HTTP server."""
+
+    def __init__(
+        self,
+        service: MonitorService,
+        *,
+        host: str = "127.0.0.1",
+        port: int = 0,
+    ) -> None:
+        self.service = service
+        self.host = host
+        self.port = port
+        self._server: asyncio.Server | None = None
+        self._queues: list[asyncio.Queue[StreamEvent]] = []
+        self._workers: list[asyncio.Task[None]] = []
+        self._feeds: list[asyncio.Task[None]] = []
+        self._stopped = asyncio.Event()
+
+    # -- lifecycle ---------------------------------------------------------
+
+    async def start(self) -> None:
+        plane = self.service.plane
+        self._queues = [asyncio.Queue() for _ in range(plane.shards)]
+        self._workers = [
+            asyncio.create_task(self._worker(shard), name=f"service-shard-{shard}")
+            for shard in range(plane.shards)
+        ]
+        self._server = await asyncio.start_server(self._handle, self.host, self.port)
+        self.port = self._server.sockets[0].getsockname()[1]
+
+    async def wait_stopped(self) -> None:
+        await self._stopped.wait()
+
+    async def stop(self) -> None:
+        if self._stopped.is_set():
+            return
+        for task in self._feeds:
+            task.cancel()
+        if self._server is not None:
+            self._server.close()
+            await self._server.wait_closed()
+        await self._drain()
+        for task in self._workers:
+            task.cancel()
+        self.service.poll()
+        self._stopped.set()
+
+    async def run(self) -> None:
+        """Start, serve until a ``POST /shutdown`` arrives, tear down."""
+        await self.start()
+        await self.wait_stopped()
+
+    # -- ingest ------------------------------------------------------------
+
+    async def submit(self, event: StreamEvent) -> None:
+        for shard in self.service.plane.begin_ingest(event):
+            await self._queues[shard].put(event)
+
+    async def _worker(self, shard: int) -> None:
+        queue = self._queues[shard]
+        plane = self.service.plane
+        while True:
+            event = await queue.get()
+            try:
+                plane.apply(shard, event)
+            except Exception as error:  # same isolation contract as replay
+                if len(plane.errors) < 32:
+                    plane.errors.append(f"shard {shard}: {error}")
+            finally:
+                queue.task_done()
+
+    async def _drain(self) -> None:
+        """Wait until every enqueued event has been applied."""
+        await asyncio.gather(*(queue.join() for queue in self._queues))
+
+    async def ingest_text(self, text: str) -> dict[str, object]:
+        """Ingest a JSONL batch: enqueue, drain, poll, report."""
+        accepted = 0
+        malformed = 0
+        for raw in text.splitlines():
+            line = raw.strip()
+            if not line:
+                continue
+            try:
+                event = parse_event_line(line)
+            except StreamFormatError as error:
+                self.service.plane.note_malformed(error)
+                malformed += 1
+                continue
+            await self.submit(event)
+            accepted += 1
+        await self._drain()
+        verdicts = self.service.poll()
+        return {
+            "accepted": accepted,
+            "malformed": malformed,
+            "verdicts": [verdict.as_dict() for verdict in verdicts],
+        }
+
+    def feed_file(self, path: str | Path, *, follow: bool = False) -> None:
+        """Start a task feeding (and optionally tailing) a JSONL file."""
+        self._feeds.append(
+            asyncio.get_running_loop().create_task(self._feed(Path(path), follow))
+        )
+
+    async def _feed(self, path: Path, follow: bool) -> None:
+        with path.open("r", encoding="utf-8") as handle:
+            while True:
+                line = handle.readline()
+                if line:
+                    stripped = line.strip()
+                    if stripped:
+                        try:
+                            event = parse_event_line(stripped)
+                        except StreamFormatError as error:
+                            self.service.plane.note_malformed(error)
+                            continue
+                        await self.submit(event)
+                    continue
+                await self._drain()
+                self.service.poll()
+                if not follow:
+                    return
+                await asyncio.sleep(0.1)
+
+    # -- HTTP --------------------------------------------------------------
+
+    async def _handle(
+        self, reader: asyncio.StreamReader, writer: asyncio.StreamWriter
+    ) -> None:
+        try:
+            status, payload = await self._serve_one(reader)
+            body = json.dumps(payload, sort_keys=True).encode("utf-8")
+            reason = _REASONS.get(status, "OK")
+            writer.write(
+                f"HTTP/1.1 {status} {reason}\r\n"
+                f"Content-Type: application/json\r\n"
+                f"Content-Length: {len(body)}\r\n"
+                f"Connection: close\r\n\r\n".encode("latin-1")
+            )
+            writer.write(body)
+            await writer.drain()
+        except (ConnectionError, asyncio.IncompleteReadError):
+            pass
+        finally:
+            writer.close()
+            try:
+                await writer.wait_closed()
+            except ConnectionError:
+                pass
+
+    async def _serve_one(
+        self, reader: asyncio.StreamReader
+    ) -> tuple[int, dict[str, object] | list[object]]:
+        request_line = await reader.readline()
+        parts = request_line.decode("latin-1", "replace").split()
+        if len(parts) < 2:
+            return 400, {"error": "malformed request line"}
+        method, path = parts[0].upper(), parts[1]
+        headers: dict[str, str] = {}
+        while True:
+            line = await reader.readline()
+            if line in (b"\r\n", b"\n", b""):
+                break
+            name, _, value = line.decode("latin-1", "replace").partition(":")
+            headers[name.strip().lower()] = value.strip()
+        try:
+            length = int(headers.get("content-length", "0") or "0")
+        except ValueError:
+            return 400, {"error": "bad Content-Length"}
+        body = await reader.readexactly(length) if length else b""
+        try:
+            return await self._dispatch(method, path, body)
+        except ValueError as error:
+            return 400, {"error": str(error)}
+
+    async def _dispatch(
+        self, method: str, path: str, body: bytes
+    ) -> tuple[int, dict[str, object] | list[object]]:
+        service = self.service
+        segments = [segment for segment in path.split("?")[0].split("/") if segment]
+        if method == "GET":
+            if segments == ["health"]:
+                return 200, service.health()
+            if segments == ["metrics"]:
+                return 200, service.metrics_snapshot()
+            if segments == ["tenants"]:
+                return 200, {"tenants": service.tenant_payloads()}
+            if segments == ["verdicts"]:
+                return 200, {"verdicts": service.verdict_payloads()}
+            if segments == ["mitigations"]:
+                return 200, {"mitigations": service.mitigation_payloads()}
+            if len(segments) == 3 and segments[0] == "tenants":
+                tenant = segments[1]
+                if segments[2] == "stats":
+                    return 200, service.tenant_stats(tenant)
+                if segments[2] == "verdicts":
+                    return 200, {"verdicts": service.verdict_payloads(tenant)}
+            return 404, {"error": f"no such resource {path}"}
+        if method == "POST":
+            if segments == ["events"]:
+                return 200, await self.ingest_text(body.decode("utf-8", "replace"))
+            if segments == ["flush"]:
+                await self._drain()
+                verdicts = service.poll()
+                return 200, {"verdicts": [v.as_dict() for v in verdicts]}
+            if segments == ["shutdown"]:
+                asyncio.get_running_loop().create_task(self.stop())
+                return 200, {"status": "stopping"}
+            if len(segments) == 3 and segments[0] == "tenants":
+                tenant = segments[1]
+                payload = _json_object(body)
+                if segments[2] == "prefixes":
+                    registration = service.register(
+                        tenant,
+                        _field_str(payload, "prefix"),
+                        _field_int(payload, "origin"),
+                        max_length=_field_opt_int(payload, "max_length"),
+                        auto_mitigate=bool(payload.get("auto_mitigate", False)),
+                        deployers=tuple(_field_int_list(payload, "deployers")),
+                    )
+                    return 200, registration.as_dict()
+                if segments[2] == "deregister":
+                    registration = service.deregister(
+                        tenant, _field_str(payload, "prefix")
+                    )
+                    return 200, registration.as_dict()
+            return 404, {"error": f"no such resource {path}"}
+        return 405, {"error": f"method {method} not supported"}
+
+
+def _json_object(body: bytes) -> dict[str, object]:
+    try:
+        payload = json.loads(body.decode("utf-8"))
+    except (UnicodeDecodeError, json.JSONDecodeError) as error:
+        raise ValueError(f"invalid JSON body: {error}") from error
+    if not isinstance(payload, dict):
+        raise ValueError("JSON body must be an object")
+    return payload
+
+
+def _field_str(payload: dict[str, object], key: str) -> str:
+    value = payload.get(key)
+    if not isinstance(value, str):
+        raise ValueError(f"missing/invalid {key!r}")
+    return value
+
+
+def _field_int(payload: dict[str, object], key: str) -> int:
+    value = payload.get(key)
+    if not isinstance(value, int) or isinstance(value, bool):
+        raise ValueError(f"missing/invalid {key!r}")
+    return value
+
+
+def _field_opt_int(payload: dict[str, object], key: str) -> int | None:
+    value = payload.get(key)
+    if value is None:
+        return None
+    if not isinstance(value, int) or isinstance(value, bool):
+        raise ValueError(f"invalid {key!r}")
+    return value
+
+
+def _field_int_list(payload: dict[str, object], key: str) -> list[int]:
+    value = payload.get(key, [])
+    if not isinstance(value, list) or not all(
+        isinstance(item, int) and not isinstance(item, bool) for item in value
+    ):
+        raise ValueError(f"invalid {key!r}")
+    return value
+
+
+class ServiceThread:
+    """Run a :class:`ServiceDaemon` on a background thread (tests, CLI).
+
+    ``start()`` blocks until the listening port is known; ``stop()``
+    requests a clean shutdown and joins the thread. The wrapped
+    :class:`MonitorService` must only be touched from the daemon thread
+    while running — interact over HTTP (or after ``stop()``).
+    """
+
+    def __init__(
+        self, service: MonitorService, *, host: str = "127.0.0.1", port: int = 0
+    ) -> None:
+        self.daemon = ServiceDaemon(service, host=host, port=port)
+        self._thread = threading.Thread(target=self._run, daemon=True)
+        self._ready = threading.Event()
+        self._loop: asyncio.AbstractEventLoop | None = None
+
+    @property
+    def port(self) -> int:
+        return self.daemon.port
+
+    @property
+    def base_url(self) -> str:
+        return f"http://{self.daemon.host}:{self.daemon.port}"
+
+    def start(self) -> "ServiceThread":
+        self._thread.start()
+        if not self._ready.wait(timeout=30):
+            raise RuntimeError("service thread failed to start")
+        return self
+
+    def _run(self) -> None:
+        asyncio.run(self._main())
+
+    async def _main(self) -> None:
+        self._loop = asyncio.get_running_loop()
+        await self.daemon.start()
+        self._ready.set()
+        await self.daemon.wait_stopped()
+
+    def stop(self, timeout: float = 30.0) -> None:
+        loop = self._loop
+        if loop is not None and not loop.is_closed():
+            try:
+                asyncio.run_coroutine_threadsafe(self.daemon.stop(), loop).result(
+                    timeout=timeout
+                )
+            except Exception:
+                pass
+        self._thread.join(timeout=timeout)

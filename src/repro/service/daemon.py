@@ -1,0 +1,377 @@
+"""The monitoring service core: registrations, verdicts, mitigation.
+
+:class:`MonitorService` is the synchronous heart of the daemon — the
+asyncio front-end (:mod:`repro.service.api`) is a thin shell around it,
+so every behaviour here is testable without an event loop, and the
+offline :class:`~repro.stream.monitor.OnlineMonitor` parity the
+integration suite pins holds by construction (same replayers, same
+detectors, same events).
+
+The loop it implements is ingest → shard → verdict → mitigation:
+
+1. events enter through :meth:`ingest_line` / :meth:`ingest_event` and
+   are routed by the :class:`~repro.service.shards.ShardPlane`;
+2. :meth:`poll` flushes the shards, drains freshly raised alarms, and
+   attributes each to the tenants whose registrations the alarmed NLRI
+   concerns (covering *and* covered — the sub-prefix case), updating
+   per-tenant detection-latency stats;
+3. a CONFIRMED verdict (``hijack`` / ``forged-path`` / ``route-leak``)
+   against an ``auto_mitigate`` registration fires the reactive hook:
+   a ``DefenseActivate`` for the registration's deployers plus
+   deaggregation — the tenant's origin announces the two more-specific
+   halves of the hijacked NLRI (with fresh ROAs, or the response would
+   itself be INVALID), which out-compete the bogus route by
+   longest-prefix match exactly as in the batch-side
+   :func:`~repro.defense.mitigation.deaggregation_response`.
+
+:meth:`victim_coverage` measures the mitigation's effect: the fraction
+of routing nodes whose most-specific live route for the contested space
+originates from the tenant — before and after, so "measurably restores
+the victim's routes" is a number in the record, not a claim.
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass
+
+from repro.attacks.lab import HijackLab
+from repro.detection.probes import ProbeSet
+from repro.obs.metrics import NULL_METRICS, Metrics
+from repro.prefixes.prefix import Prefix
+from repro.service.shards import ShardPlane
+from repro.service.tenants import LatencyStats, TenantRegistration, TenantRegistry
+from repro.stream.events import (
+    Announce,
+    DefenseActivate,
+    RoaPublish,
+    RoaRevoke,
+    StreamEvent,
+)
+from repro.stream.monitor import StreamAlarm
+
+__all__ = [
+    "CONFIRMED_VERDICTS",
+    "MitigationRecord",
+    "MonitorService",
+    "ServiceVerdict",
+]
+
+#: Verdicts that arm the reactive hook — the attack cells where the
+#: announcement is provably bogus, not merely a MOAS to investigate.
+CONFIRMED_VERDICTS = frozenset({"hijack", "forged-path", "route-leak"})
+
+
+@dataclass(frozen=True)
+class ServiceVerdict:
+    """One alarm attributed to one tenant (or unclaimed space)."""
+
+    tenant: str | None
+    shard: int
+    alarm: StreamAlarm
+
+    @property
+    def confirmed(self) -> bool:
+        return self.alarm.verdict in CONFIRMED_VERDICTS
+
+    def as_dict(self) -> dict[str, object]:
+        payload: dict[str, object] = {
+            "tenant": self.tenant,
+            "shard": self.shard,
+            "confirmed": self.confirmed,
+        }
+        payload.update(self.alarm.as_dict())
+        return payload
+
+
+@dataclass(frozen=True)
+class MitigationRecord:
+    """One firing of the auto-mitigation hook and its measured effect."""
+
+    at: float
+    tenant: str
+    prefix: str
+    verdict: str
+    deployers: tuple[int, ...]
+    announced: tuple[str, ...]
+    coverage_before: float
+    coverage_after: float
+
+    def as_dict(self) -> dict[str, object]:
+        return {
+            "at": self.at,
+            "tenant": self.tenant,
+            "prefix": self.prefix,
+            "verdict": self.verdict,
+            "deployers": list(self.deployers),
+            "announced": list(self.announced),
+            "coverage_before": self.coverage_before,
+            "coverage_after": self.coverage_after,
+        }
+
+
+class MonitorService:
+    """The always-on multi-tenant hijack monitor over one lab topology."""
+
+    def __init__(
+        self,
+        lab: HijackLab,
+        *,
+        shards: int = 1,
+        probes: ProbeSet | None = None,
+        batch_window: float = 0.0,
+        queue_limit: int = 64,
+        metrics: Metrics | None = None,
+    ) -> None:
+        self.lab = lab
+        self.metrics = metrics if metrics is not None else NULL_METRICS
+        self.registry = TenantRegistry()
+        self.plane = ShardPlane(
+            lab,
+            shards=shards,
+            registry=self.registry,
+            probes=probes,
+            batch_window=batch_window,
+            queue_limit=queue_limit,
+            metrics=self.metrics,
+        )
+        self.verdicts: list[ServiceVerdict] = []
+        self.mitigations: list[MitigationRecord] = []
+        self._stats: dict[str, LatencyStats] = {}
+        self._mitigated: set[tuple[str, Prefix, str]] = set()
+        self._started = time.monotonic()
+
+    # -- registration plane ------------------------------------------------
+
+    def register(
+        self,
+        tenant: str,
+        prefix: Prefix | str,
+        origin_asn: int,
+        *,
+        max_length: int | None = None,
+        auto_mitigate: bool = False,
+        deployers: tuple[int, ...] = (),
+    ) -> TenantRegistration:
+        """Register a watch and publish the tenant's ROA into every shard."""
+        if isinstance(prefix, str):
+            prefix = Prefix.parse(prefix)
+        view = self.lab.view
+        if not view.has_asn(origin_asn):
+            raise ValueError(f"unknown origin AS{origin_asn}")
+        for deployer in deployers:
+            if not view.has_asn(deployer):
+                raise ValueError(f"unknown deployer AS{deployer}")
+        registration = TenantRegistration(
+            tenant=tenant,
+            prefix=prefix,
+            origin_asn=origin_asn,
+            max_length=max_length,
+            auto_mitigate=auto_mitigate,
+            deployer_asns=tuple(deployers),
+        )
+        self.registry.register(registration)
+        self.plane.submit(
+            RoaPublish(
+                at=self.plane.clock,
+                prefix=prefix,
+                origin_asn=origin_asn,
+                max_length=max_length,
+            )
+        )
+        self.plane.flush()
+        self.metrics.count("service.registrations")
+        return registration
+
+    def deregister(self, tenant: str, prefix: Prefix | str) -> TenantRegistration:
+        """Drop a watch and revoke the ROA it published."""
+        if isinstance(prefix, str):
+            prefix = Prefix.parse(prefix)
+        registration = self.registry.deregister(tenant, prefix)
+        self.plane.submit(
+            RoaRevoke(
+                at=self.plane.clock,
+                prefix=registration.prefix,
+                origin_asn=registration.origin_asn,
+                max_length=registration.max_length,
+            )
+        )
+        self.plane.flush()
+        self.metrics.count("service.deregistrations")
+        return registration
+
+    # -- ingest ------------------------------------------------------------
+
+    def ingest_event(self, event: StreamEvent) -> None:
+        self.plane.submit(event)
+
+    def ingest_line(self, line: str) -> bool:
+        return self.plane.submit_line(line)
+
+    # -- the verdict loop --------------------------------------------------
+
+    def poll(self) -> list[ServiceVerdict]:
+        """Flush, drain new alarms, attribute them, run auto-mitigation."""
+        self.plane.flush()
+        fresh: list[ServiceVerdict] = []
+        for shard, alarm in self.plane.drain_alarms():
+            matched = self.registry.match(alarm.prefix)
+            if not matched:
+                fresh.append(ServiceVerdict(tenant=None, shard=shard, alarm=alarm))
+                continue
+            for registration in matched:
+                verdict = ServiceVerdict(
+                    tenant=registration.tenant, shard=shard, alarm=alarm
+                )
+                fresh.append(verdict)
+                self._stats.setdefault(
+                    registration.tenant, LatencyStats()
+                ).add(alarm.latency_time)
+                if (
+                    registration.auto_mitigate
+                    and verdict.confirmed
+                    and registration.origin_asn not in alarm.invalid_origins
+                ):
+                    self._mitigate(registration, alarm)
+        self.verdicts.extend(fresh)
+        if fresh:
+            self.metrics.count("service.verdicts", len(fresh))
+        return fresh
+
+    def _mitigate(self, registration: TenantRegistration, alarm: StreamAlarm) -> None:
+        key = (registration.tenant, alarm.prefix, alarm.verdict)
+        if key in self._mitigated:
+            return
+        self._mitigated.add(key)
+        coverage_before = self.victim_coverage(alarm.prefix, registration.origin_asn)
+        now = self.plane.clock
+        events: list[StreamEvent] = []
+        if registration.deployer_asns:
+            events.append(
+                DefenseActivate(at=now, deployer_asns=registration.deployer_asns)
+            )
+        if alarm.prefix.length < 32:
+            halves = list(alarm.prefix.subnets())
+        else:
+            halves = [alarm.prefix]
+        announced: list[str] = []
+        for half in halves:
+            # The deaggregated more-specifics need their own ROAs or the
+            # response is INVALID under the tenant's covering ROA and the
+            # service would page on its own counter-announcement.
+            events.append(
+                RoaPublish(at=now, prefix=half, origin_asn=registration.origin_asn)
+            )
+            events.append(
+                Announce(at=now, prefix=half, origin_asn=registration.origin_asn)
+            )
+            announced.append(str(half))
+        for event in events:
+            self.plane.submit(event)
+        self.plane.flush()
+        coverage_after = self.victim_coverage(alarm.prefix, registration.origin_asn)
+        self.mitigations.append(
+            MitigationRecord(
+                at=now,
+                tenant=registration.tenant,
+                prefix=str(alarm.prefix),
+                verdict=alarm.verdict,
+                deployers=registration.deployer_asns,
+                announced=tuple(announced),
+                coverage_before=coverage_before,
+                coverage_after=coverage_after,
+            )
+        )
+        self.metrics.count("service.mitigations")
+
+    # -- measurement -------------------------------------------------------
+
+    def victim_coverage(self, prefix: Prefix, origin_asn: int) -> float:
+        """Fraction of routing nodes whose traffic for *prefix* reaches
+        *origin_asn*, under longest-prefix-match over every live ledger.
+
+        Sampled at one representative address per half of *prefix* (the
+        deaggregation granularity), with most-specific-first fall-through:
+        a node covered by a more-specific ledger that gives it no route
+        falls back to the next covering ledger, as a FIB would.
+        """
+        live = [
+            (stored, ledger)
+            for stored, ledger in self.plane.ledgers().items()
+            if ledger.state is not None
+        ]
+        if prefix.length < 32:
+            samples = [half.first_address() for half in prefix.subnets()]
+        else:
+            samples = [prefix.first_address()]
+        node_count = len(self.lab.view)
+        total = node_count * len(samples)
+        if total == 0:
+            return 0.0
+        reached = 0
+        for address in samples:
+            covering = sorted(
+                (
+                    (stored, ledger)
+                    for stored, ledger in live
+                    if stored.contains_address(address)
+                ),
+                key=lambda item: -item[0].length,
+            )
+            resolved = [
+                (ledger.state, ledger.origin_asns()) for _stored, ledger in covering
+            ]
+            for node in range(node_count):
+                for state, asn_of_origin in resolved:
+                    origin_node = state.origin_of[node]
+                    if origin_node == -1:
+                        continue
+                    if asn_of_origin.get(origin_node) == origin_asn:
+                        reached += 1
+                    break
+        return reached / total
+
+    # -- API payloads ------------------------------------------------------
+
+    def health(self) -> dict[str, object]:
+        return {
+            "status": "ok",
+            "uptime_s": time.monotonic() - self._started,
+            "clock": self.plane.clock,
+            "shards": self.plane.shards,
+            "probe_set": self.plane.probes.name,
+            "tenants": len(self.registry.tenants()),
+            "registrations": len(self.registry),
+            "roas": self.plane.authority_size(),
+            "events": self.plane.counts(),
+            "verdicts": len(self.verdicts),
+            "mitigations": len(self.mitigations),
+        }
+
+    def verdict_payloads(self, tenant: str | None = None) -> list[dict[str, object]]:
+        return [
+            verdict.as_dict()
+            for verdict in self.verdicts
+            if tenant is None or verdict.tenant == tenant
+        ]
+
+    def mitigation_payloads(self) -> list[dict[str, object]]:
+        return [record.as_dict() for record in self.mitigations]
+
+    def tenant_stats(self, tenant: str) -> dict[str, object]:
+        stats = self._stats.get(tenant, LatencyStats())
+        return {
+            "tenant": tenant,
+            "registrations": [
+                registration.as_dict()
+                for registration in self.registry.for_tenant(tenant)
+            ],
+            "latency": stats.as_dict(),
+            "verdicts": sum(1 for v in self.verdicts if v.tenant == tenant),
+        }
+
+    def tenant_payloads(self) -> list[dict[str, object]]:
+        return [self.tenant_stats(tenant) for tenant in self.registry.tenants()]
+
+    def metrics_snapshot(self) -> dict[str, object]:
+        return dict(self.metrics.snapshot())

@@ -22,6 +22,7 @@ from repro.stream.events import (
     compile_scenario,
     event_from_dict,
     event_to_dict,
+    parse_event_line,
     read_events,
     write_events,
 )
@@ -49,6 +50,7 @@ __all__ = [
     "event_from_dict",
     "event_to_dict",
     "full_converge",
+    "parse_event_line",
     "read_events",
     "write_events",
 ]

@@ -48,6 +48,7 @@ __all__ = [
     "compile_scenario",
     "event_from_dict",
     "event_to_dict",
+    "parse_event_line",
     "read_events",
     "write_events",
 ]

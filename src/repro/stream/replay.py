@@ -165,6 +165,15 @@ class StreamReplayer:
         """The ledger for *prefix*, or ``None`` if never announced."""
         return self._ledgers.get(prefix)
 
+    def ledgers(self) -> dict[Prefix, PrefixLedger]:
+        """A snapshot of every live per-prefix ledger (prefix → ledger)."""
+        return dict(self._ledgers)
+
+    @property
+    def counts(self) -> dict[str, int]:
+        """A copy of the running event counters (``submitted`` … ``flushes``)."""
+        return dict(self._counts)
+
     def defense(self) -> Defense:
         """The defensive configuration currently in force."""
         return Defense(

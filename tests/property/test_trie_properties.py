@@ -64,6 +64,17 @@ def test_covered_by_is_brute_force_filter(entries, query):
     assert found == expected
 
 
+@given(prefix_lists, prefixes)
+def test_iter_covered_is_brute_force_strict_filter(entries, query):
+    trie, reference = build(entries)
+    expected = sorted(p for p in reference if query.contains(p) and p != query)
+    found = [p for p, _ in trie.iter_covered(query)]
+    assert found == sorted(found)
+    assert sorted(found) == expected
+    for prefix, value in trie.iter_covered(query):
+        assert value == reference[prefix]
+
+
 @given(prefix_lists, st.data())
 def test_removal_restores_absence(entries, data):
     trie, reference = build(entries)

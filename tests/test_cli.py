@@ -154,6 +154,48 @@ class TestCommands:
         assert "alarms" in payload["monitor"]
         assert payload["prefixes"], "expected per-prefix final state"
 
+    def test_stream_replay_tolerates_malformed_input_lines(self, tmp_path, capsys):
+        stream_path = tmp_path / "campaign.jsonl"
+        assert main(["stream", "--as-count", "400", "--attacks", "2",
+                     "--publish-roas", "--compile-only", str(stream_path)]) == 0
+        lines = stream_path.read_text().splitlines()
+        lines.insert(1, "{this is not json")
+        lines.insert(3, '{"kind":"teleport","at":1.0}')
+        stream_path.write_text("\n".join(lines) + "\n")
+        report_path = tmp_path / "report.json"
+        assert main(["stream", "--as-count", "400", "-i", str(stream_path),
+                     "--report", str(report_path)]) == 0
+        payload = json.loads(report_path.read_text())
+        assert payload["events"]["malformed"] == 2
+        assert payload["events"]["applied"] == 6
+
+    def test_stream_fail_on_hijack_exit_code(self, tmp_path, capsys):
+        # A hijack campaign with ROAs published: CONFIRMED verdicts fire.
+        assert main(["stream", "--as-count", "400", "--attacks", "2",
+                     "--publish-roas", "--fail-on-hijack",
+                     "--report", str(tmp_path / "r.json")]) == 1
+        assert "fail-on-hijack" in capsys.readouterr().err
+
+    def test_stream_fail_on_hijack_passes_clean_stream(self, tmp_path, capsys):
+        # Only the legitimate announcements: nothing to page on.
+        from repro.stream import read_events, write_events
+        from repro.stream.events import Announce, RoaPublish
+
+        stream_path = tmp_path / "campaign.jsonl"
+        assert main(["stream", "--as-count", "400", "--attacks", "2",
+                     "--publish-roas", "--compile-only", str(stream_path)]) == 0
+        events = read_events(stream_path)
+        roas = [e for e in events if isinstance(e, RoaPublish)]
+        legit = {(roa.prefix, roa.origin_asn) for roa in roas}
+        clean = roas + [
+            e for e in events
+            if isinstance(e, Announce) and (e.prefix, e.origin_asn) in legit
+        ]
+        write_events(stream_path, clean)
+        assert main(["stream", "--as-count", "400", "-i", str(stream_path),
+                     "--fail-on-hijack",
+                     "--report", str(tmp_path / "r.json")]) == 0
+
     def test_bench_stream_suite(self, tmp_path, capsys):
         from repro.obs.compare import load_bench
 
@@ -181,6 +223,22 @@ class TestCommands:
         assert payload["name"] == "scale-tiny"
         assert payload["derived"]["checksums_consistent"] is True
         assert payload["speedups"]["single_origin"] > 0
+
+    def test_bench_service_suite(self, tmp_path, capsys):
+        from repro.obs.compare import load_bench
+
+        path = tmp_path / "BENCH_service.json"
+        assert main(["bench", "--suite", "service", "--profile", "tiny",
+                     "-o", str(path)]) == 0
+        output = capsys.readouterr().out
+        assert "service bench profile: tiny" in output
+        assert "shard scaling" in output
+        payload = load_bench(path)
+        assert payload["name"] == "service-tiny"
+        assert payload["derived"]["verdicts_consistent"] is True
+        for stats in payload["derived"]["shards"].values():
+            assert stats["events_per_s"] > 0
+            assert stats["verdicts"] > 0
 
     def test_bench_writes_valid_bench_file(self, tmp_path, capsys):
         from repro.obs.compare import load_bench

@@ -144,5 +144,12 @@ class TestSuiteExtraDrivers:
         assert ids == [
             "fig1", "fig2", "fig3", "fig4", "fig5", "fig6", "tab1", "tab2",
             "fig7", "tab3", "tab4", "tab5", "nz_rehoming", "nz_filter",
-            "ext_subprefix", "attack_matrix",
+            "ext_subprefix", "attack_matrix", "service_latency",
         ]
+
+    def test_service_latency_parity(self, suite):
+        result = suite.service_latency()
+        assert result.summary["parity_all_shards"] is True
+        assert [row["shards"] for row in result.tables["service"]] == [1, 2, 4]
+        for row in result.tables["service"]:
+            assert row["verdicts"] > 0

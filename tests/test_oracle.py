@@ -148,6 +148,28 @@ def test_validated_lab_runs_attacks(mini_graph):
     lab.cache.verify_coherence()
 
 
+def test_validated_tier1_forged_path_attacker_is_stable():
+    """A tier-1 attacker forging a type-N path holds its own padded
+    origin route even though length-only ranking says a customer's
+    shorter offer "beats" it — the announcer never replaces its own
+    announcement, and the stability invariant must not flag it
+    (regression: Hypothesis found this via taxonomy_scenarios)."""
+    from repro.attacks.scenario import HijackKind, PathKind
+    from repro.topology.asgraph import ASGraph, Relationship
+
+    graph = ASGraph()
+    graph.add_as(0, tier1=True)
+    for asn in (1, 2, 3):
+        graph.add_as(asn, region="west")
+        graph.add_relationship(0, asn, Relationship.CUSTOMER)
+    lab = HijackLab(graph, seed=0, validate=True)
+    scenario = lab.build_scenario(
+        1, 0, kind=HijackKind.ORIGIN, path_kind=PathKind.TYPE_N, forged_depth=1
+    )
+    outcome = lab.run_scenario(scenario)
+    assert outcome.claimed_path[0] == 0
+
+
 def test_cache_verify_coherence_detects_mutation(mini_graph):
     lab = HijackLab(mini_graph, seed=5)
     lab.origin_hijack(target_asn=50, attacker_asn=60)

@@ -1,0 +1,412 @@
+"""Unit tests for the monitoring service core (registry, shards, daemon).
+
+Everything here runs against the hand-verifiable ``mini_graph`` through
+the synchronous :class:`~repro.service.daemon.MonitorService` — no event
+loop, no sockets (the async shell has its own suite in
+``test_service_api.py``).
+"""
+
+import json
+
+import pytest
+
+from repro.attacks.lab import HijackLab
+from repro.detection.probes import custom_probes
+from repro.obs.metrics import Metrics
+from repro.prefixes.prefix import Prefix
+from repro.service.daemon import CONFIRMED_VERDICTS, MonitorService
+from repro.service.shards import ShardPlane
+from repro.service.tenants import LatencyStats, TenantRegistration, TenantRegistry
+from repro.stream.events import Announce, RoaPublish
+
+
+def p(text: str) -> Prefix:
+    return Prefix.parse(text)
+
+
+@pytest.fixture
+def lab(mini_graph) -> HijackLab:
+    return HijackLab(mini_graph, seed=1)
+
+
+@pytest.fixture
+def probes():
+    return custom_probes("pair", [10, 20])
+
+
+def service_for(lab, probes, **kwargs) -> MonitorService:
+    return MonitorService(lab, probes=probes, **kwargs)
+
+
+# -- registry ---------------------------------------------------------------
+
+
+class TestTenantRegistry:
+    def registration(self, tenant="acme", prefix="10.0.0.0/16", origin=50, **kw):
+        return TenantRegistration(tenant, p(prefix), origin, **kw)
+
+    def test_register_and_match_exact(self):
+        registry = TenantRegistry()
+        registry.register(self.registration())
+        assert [r.tenant for r in registry.match(p("10.0.0.0/16"))] == ["acme"]
+
+    def test_match_subprefix_via_covering(self):
+        # A hijacked more-specific must hit the covering registration.
+        registry = TenantRegistry()
+        registry.register(self.registration())
+        assert [r.tenant for r in registry.match(p("10.0.128.0/17"))] == ["acme"]
+
+    def test_match_supernet_via_iter_covered(self):
+        # An announced covering prefix must hit registrations under it.
+        registry = TenantRegistry()
+        registry.register(self.registration(prefix="10.0.128.0/17"))
+        assert [r.tenant for r in registry.match(p("10.0.0.0/16"))] == ["acme"]
+
+    def test_match_unrelated_is_empty(self):
+        registry = TenantRegistry()
+        registry.register(self.registration())
+        assert registry.match(p("192.168.0.0/16")) == []
+
+    def test_two_tenants_same_prefix(self):
+        registry = TenantRegistry()
+        registry.register(self.registration(tenant="acme"))
+        registry.register(self.registration(tenant="globex", origin=60))
+        assert len(registry) == 2
+        assert sorted(r.tenant for r in registry.match(p("10.0.0.0/16"))) == [
+            "acme", "globex",
+        ]
+        assert registry.tenants() == ["acme", "globex"]
+
+    def test_covering_root_is_shortest(self):
+        registry = TenantRegistry()
+        registry.register(self.registration(prefix="10.0.0.0/8"))
+        registry.register(self.registration(prefix="10.0.0.0/16"))
+        assert registry.covering_root(p("10.0.1.0/24")) == p("10.0.0.0/8")
+        assert registry.covering_root(p("11.0.0.0/8")) is None
+
+    def test_deregister(self):
+        registry = TenantRegistry()
+        registry.register(self.registration())
+        dropped = registry.deregister("acme", p("10.0.0.0/16"))
+        assert dropped.origin_asn == 50
+        assert len(registry) == 0
+        with pytest.raises(KeyError):
+            registry.deregister("acme", p("10.0.0.0/16"))
+
+    def test_for_tenant(self):
+        registry = TenantRegistry()
+        registry.register(self.registration())
+        registry.register(self.registration(prefix="172.16.0.0/12"))
+        registry.register(self.registration(tenant="globex", prefix="192.0.2.0/24"))
+        assert len(registry.for_tenant("acme")) == 2
+
+    def test_registration_as_dict(self):
+        payload = self.registration(auto_mitigate=True, deployer_asns=(1, 2)).as_dict()
+        assert payload == {
+            "tenant": "acme", "prefix": "10.0.0.0/16", "origin": 50,
+            "max_length": None, "auto_mitigate": True, "deployers": [1, 2],
+        }
+
+
+class TestLatencyStats:
+    def test_empty(self):
+        stats = LatencyStats()
+        assert stats.count == 0 and stats.mean is None
+        assert stats.percentile(0.5) is None
+        assert stats.as_dict() == {"count": 0, "mean": None, "p50": None, "p95": None}
+
+    def test_nearest_rank(self):
+        stats = LatencyStats()
+        for value in (4.0, 1.0, 3.0, 2.0):
+            stats.add(value)
+        assert stats.percentile(0.50) == 2.0
+        assert stats.percentile(0.95) == 4.0
+        assert stats.mean == 2.5
+
+    def test_single_sample(self):
+        stats = LatencyStats(samples=[7.0])
+        assert stats.percentile(0.50) == 7.0
+        assert stats.percentile(0.95) == 7.0
+
+
+# -- shard plane ------------------------------------------------------------
+
+
+class TestShardPlane:
+    def test_covering_root_affinity(self, lab, probes):
+        service = service_for(lab, probes, shards=4)
+        prefix = lab.target_prefix(50)
+        service.register("acme", prefix, 50)
+        plane = service.plane
+        root_shard = plane.shard_of(prefix)
+        for sub in prefix.subnets():
+            assert plane.shard_of(sub) == root_shard
+            for subsub in sub.subnets():
+                assert plane.shard_of(subsub) == root_shard
+
+    def test_pinning_is_stable(self, lab, probes):
+        plane = ShardPlane(lab, shards=4)
+        prefix = lab.target_prefix(50)
+        first = plane.shard_of(prefix)
+        assert all(plane.shard_of(prefix) == first for _ in range(5))
+
+    def test_broadcast_events_land_on_every_shard(self, lab, probes):
+        plane = ShardPlane(lab, shards=3, probes=probes)
+        event = RoaPublish(at=0.0, prefix=lab.target_prefix(50), origin_asn=50)
+        assert plane.route(event) is None
+        plane.submit(event)
+        plane.flush()
+        for shard in range(3):
+            assert len(plane.replayer(shard).authority) == 1
+
+    def test_announce_lands_on_one_shard(self, lab, probes):
+        plane = ShardPlane(lab, shards=3, probes=probes)
+        prefix = lab.target_prefix(50)
+        plane.submit(Announce(at=0.0, prefix=prefix, origin_asn=50))
+        plane.flush()
+        owners = [
+            shard for shard in range(3)
+            if plane.replayer(shard).ledger(prefix) is not None
+        ]
+        assert owners == [plane.shard_of(prefix)]
+
+    def test_malformed_lines_counted_not_fatal(self, lab, probes):
+        metrics = Metrics()
+        plane = ShardPlane(lab, probes=probes, metrics=metrics)
+        assert plane.submit_line("{broken") is False
+        assert plane.submit_line('{"kind":"teleport","at":0.0}') is False
+        prefix = lab.target_prefix(50)
+        assert plane.submit_line(
+            '{"at":0.0,"kind":"announce","origin":50,"prefix":"%s"}' % prefix
+        ) is True
+        plane.flush()
+        assert plane.malformed == 2
+        assert plane.ingested == 1
+        assert len(plane.errors) == 2
+        assert metrics.snapshot()["counters"]["service.ingest.malformed"] == 2
+
+    def test_error_log_is_bounded(self, lab, probes):
+        plane = ShardPlane(lab, probes=probes)
+        for _ in range(40):
+            plane.submit_line("{broken")
+        assert plane.malformed == 40
+        assert len(plane.errors) == 32
+
+    def test_counts_aggregate(self, lab, probes):
+        plane = ShardPlane(lab, shards=2, probes=probes)
+        plane.submit(RoaPublish(at=0.0, prefix=lab.target_prefix(50), origin_asn=50))
+        plane.submit_line("{broken")
+        plane.flush()
+        counts = plane.counts()
+        assert counts["ingested"] == 1
+        assert counts["malformed"] == 1
+        assert counts["submitted"] == 2  # the broadcast landed on both shards
+
+    def test_shards_must_be_positive(self, lab):
+        with pytest.raises(ValueError):
+            ShardPlane(lab, shards=0)
+
+    def test_drain_alarms_returns_only_fresh(self, lab, probes):
+        plane = ShardPlane(lab, shards=2, probes=probes)
+        prefix = lab.target_prefix(50)
+        plane.submit(RoaPublish(at=0.0, prefix=prefix, origin_asn=50))
+        plane.submit(Announce(at=0.0, prefix=prefix, origin_asn=50))
+        plane.submit(Announce(at=1.0, prefix=prefix, origin_asn=60))
+        plane.flush()
+        first = plane.drain_alarms()
+        assert [alarm.verdict for _shard, alarm in first] == ["hijack"]
+        assert plane.drain_alarms() == []
+
+
+# -- the service core -------------------------------------------------------
+
+
+class TestMonitorService:
+    def test_register_publishes_roa_everywhere(self, lab, probes):
+        service = service_for(lab, probes, shards=2)
+        service.register("acme", lab.target_prefix(50), 50)
+        assert service.plane.authority_size() == 1
+        for shard in (0, 1):
+            assert len(service.plane.replayer(shard).authority) == 1
+
+    def test_register_rejects_unknown_asns(self, lab, probes):
+        service = service_for(lab, probes)
+        with pytest.raises(ValueError, match="unknown origin"):
+            service.register("acme", lab.target_prefix(50), 999999)
+        with pytest.raises(ValueError, match="unknown deployer"):
+            service.register(
+                "acme", lab.target_prefix(50), 50, deployers=(999999,)
+            )
+
+    def test_deregister_revokes_roa(self, lab, probes):
+        service = service_for(lab, probes)
+        service.register("acme", lab.target_prefix(50), 50)
+        service.deregister("acme", lab.target_prefix(50))
+        assert service.plane.authority_size() == 0
+        assert len(service.registry) == 0
+
+    def hijack(self, service, prefix, attacker=60):
+        service.ingest_event(Announce(at=0.0, prefix=prefix, origin_asn=50))
+        service.ingest_event(Announce(at=1.0, prefix=prefix, origin_asn=attacker))
+        return service.poll()
+
+    def test_hijack_verdict_attributed_to_tenant(self, lab, probes):
+        service = service_for(lab, probes)
+        prefix = lab.target_prefix(50)
+        service.register("acme", prefix, 50)
+        fresh = self.hijack(service, prefix)
+        assert len(fresh) == 1
+        verdict = fresh[0]
+        assert verdict.tenant == "acme"
+        assert verdict.alarm.verdict == "hijack"
+        assert verdict.confirmed is True
+        assert service.tenant_stats("acme")["latency"]["count"] == 1
+
+    def test_unclaimed_space_yields_anonymous_verdict(self, lab, probes):
+        service = service_for(lab, probes)
+        prefix = lab.target_prefix(50)
+        service.ingest_event(RoaPublish(at=0.0, prefix=prefix, origin_asn=50))
+        fresh = self.hijack(service, prefix)
+        assert [v.tenant for v in fresh] == [None]
+        assert service.verdicts[0].confirmed is True
+
+    def test_subprefix_hijack_reaches_covering_tenant(self, lab, probes):
+        service = service_for(lab, probes)
+        prefix = lab.target_prefix(50)
+        service.register("acme", prefix, 50)
+        sub = next(iter(prefix.subnets()))
+        service.ingest_event(Announce(at=0.0, prefix=prefix, origin_asn=50))
+        service.ingest_event(Announce(at=1.0, prefix=sub, origin_asn=60))
+        fresh = service.poll()
+        assert [(v.tenant, v.alarm.verdict) for v in fresh] == [("acme", "hijack")]
+        assert fresh[0].alarm.prefix == sub
+
+    def test_poll_without_events_is_empty(self, lab, probes):
+        service = service_for(lab, probes)
+        assert service.poll() == []
+
+    def test_verdict_payload_is_json_stable(self, lab, probes):
+        service = service_for(lab, probes)
+        prefix = lab.target_prefix(50)
+        service.register("acme", prefix, 50)
+        self.hijack(service, prefix)
+        payload = json.loads(json.dumps(service.verdict_payloads()))
+        assert payload[0]["tenant"] == "acme"
+        assert payload[0]["verdict"] == "hijack"
+        assert payload[0]["confirmed"] is True
+
+    def test_health_payload(self, lab, probes):
+        service = service_for(lab, probes, shards=2)
+        service.register("acme", lab.target_prefix(50), 50)
+        service.ingest_line("{broken")
+        health = service.health()
+        assert health["status"] == "ok"
+        assert health["shards"] == 2
+        assert health["tenants"] == 1
+        assert health["roas"] == 1
+        assert health["events"]["malformed"] == 1
+        assert health["uptime_s"] >= 0.0
+
+    def test_confirmed_verdicts_constant(self):
+        assert CONFIRMED_VERDICTS == {"hijack", "forged-path", "route-leak"}
+
+
+class TestAutoMitigation:
+    def armed(self, lab, probes, **kw):
+        service = service_for(lab, probes)
+        prefix = lab.target_prefix(50)
+        service.register(
+            "acme", prefix, 50, auto_mitigate=True,
+            deployers=kw.pop("deployers", ()), **kw,
+        )
+        return service, prefix
+
+    def test_mitigation_restores_coverage(self, lab, probes):
+        service, prefix = self.armed(lab, probes)
+        sub = next(iter(prefix.subnets()))
+        service.ingest_event(Announce(at=0.0, prefix=prefix, origin_asn=50))
+        service.ingest_event(Announce(at=1.0, prefix=sub, origin_asn=60))
+        service.poll()
+        assert len(service.mitigations) == 1
+        record = service.mitigations[0]
+        assert record.prefix == str(sub)
+        assert len(record.announced) == 2
+        assert record.coverage_after > record.coverage_before
+        assert record.coverage_after == 1.0
+
+    def test_mitigation_publishes_roas_for_more_specifics(self, lab, probes):
+        service, prefix = self.armed(lab, probes)
+        sub = next(iter(prefix.subnets()))
+        service.ingest_event(Announce(at=0.0, prefix=sub, origin_asn=60))
+        service.poll()
+        # 1 registration ROA + 2 deaggregation ROAs.
+        assert service.plane.authority_size() == 3
+
+    def test_mitigation_fires_once_per_attack(self, lab, probes):
+        service, prefix = self.armed(lab, probes)
+        sub = next(iter(prefix.subnets()))
+        service.ingest_event(Announce(at=0.0, prefix=sub, origin_asn=60))
+        service.poll()
+        mitigated = len(service.mitigations)
+        # The same conflict re-announced must not re-mitigate.
+        service.ingest_event(Announce(at=5.0, prefix=sub, origin_asn=60))
+        service.poll()
+        assert len(service.mitigations) == mitigated
+
+    def test_defense_activate_emitted_for_deployers(self, lab, probes):
+        service, prefix = self.armed(lab, probes, deployers=(30,))
+        sub = next(iter(prefix.subnets()))
+        service.ingest_event(Announce(at=0.0, prefix=sub, origin_asn=60))
+        service.poll()
+        assert service.mitigations[0].deployers == (30,)
+        for shard in range(service.plane.shards):
+            defense = service.plane.replayer(shard).defense()
+            assert 30 in defense.strategy.deployers
+
+    def test_no_mitigation_without_arming(self, lab, probes):
+        service = service_for(lab, probes)
+        prefix = lab.target_prefix(50)
+        service.register("acme", prefix, 50)  # auto_mitigate=False
+        sub = next(iter(prefix.subnets()))
+        service.ingest_event(Announce(at=0.0, prefix=sub, origin_asn=60))
+        fresh = service.poll()
+        assert [v.confirmed for v in fresh] == [True]
+        assert service.mitigations == []
+
+    def test_mitigation_record_serializes(self, lab, probes):
+        service, prefix = self.armed(lab, probes)
+        sub = next(iter(prefix.subnets()))
+        service.ingest_event(Announce(at=0.0, prefix=sub, origin_asn=60))
+        service.poll()
+        payload = json.loads(json.dumps(service.mitigation_payloads()))
+        assert payload[0]["tenant"] == "acme"
+        assert payload[0]["verdict"] == "hijack"
+        assert len(payload[0]["announced"]) == 2
+
+
+class TestShardParity:
+    def test_verdicts_identical_across_shard_counts(self, lab, probes):
+        keys = []
+        for shards in (1, 2, 4):
+            service = service_for(lab, probes, shards=shards)
+            for target in (50, 70):
+                service.register("acme", lab.target_prefix(target), target)
+            for target, attacker in ((50, 60), (70, 80)):
+                prefix = lab.target_prefix(target)
+                service.ingest_event(
+                    Announce(at=0.0, prefix=prefix, origin_asn=target)
+                )
+                service.ingest_event(
+                    Announce(at=1.0, prefix=prefix, origin_asn=attacker)
+                )
+            service.poll()
+            keys.append(frozenset(
+                (
+                    str(v.alarm.prefix), v.alarm.verdict,
+                    v.alarm.origins, v.alarm.invalid_origins,
+                    v.alarm.latency_time,
+                )
+                for v in service.verdicts
+            ))
+        assert len(set(keys)) == 1
+        assert len(keys[0]) == 2

@@ -1,0 +1,180 @@
+"""The async shell: HTTP round-trips against a live ServiceThread.
+
+One daemon per test class keeps the suite fast; every interaction goes
+over real sockets through the stdlib HTTP client, exactly as the CI
+smoke step and an operator's curl would.
+"""
+
+import json
+import urllib.error
+import urllib.request
+
+import pytest
+
+from repro.attacks.lab import HijackLab
+from repro.detection.probes import custom_probes
+from repro.obs.metrics import Metrics
+from repro.service.api import ServiceThread
+from repro.service.daemon import MonitorService
+from tests.conftest import build_mini_graph
+
+
+def _request(base_url, method, path, payload=None, raw=None):
+    """One HTTP exchange; returns (status, decoded JSON body)."""
+    if raw is not None:
+        data = raw.encode("utf-8")
+    elif payload is not None:
+        data = json.dumps(payload).encode("utf-8")
+    else:
+        data = None
+    request = urllib.request.Request(base_url + path, data=data, method=method)
+    try:
+        with urllib.request.urlopen(request, timeout=30) as response:
+            return response.status, json.loads(response.read())
+    except urllib.error.HTTPError as error:
+        return error.code, json.loads(error.read())
+
+
+@pytest.fixture(scope="module")
+def thread():
+    lab = HijackLab(build_mini_graph(), seed=1)
+    service = MonitorService(
+        lab, shards=2, probes=custom_probes("pair", [10, 20]), metrics=Metrics()
+    )
+    thread = ServiceThread(service).start()
+    yield thread
+    thread.stop()
+
+
+@pytest.fixture(scope="module")
+def api(thread):
+    def call(method, path, payload=None, raw=None):
+        return _request(thread.base_url, method, path, payload=payload, raw=raw)
+
+    return call
+
+
+def announce(at, prefix, origin):
+    return json.dumps(
+        {"kind": "announce", "at": at, "prefix": prefix, "origin": origin}
+    )
+
+
+class TestLifecycle:
+    def test_health_before_traffic(self, api):
+        status, health = api("GET", "/health")
+        assert status == 200
+        assert health["status"] == "ok"
+        assert health["shards"] == 2
+
+    def test_register_then_hijack_then_verdict(self, api):
+        status, registration = api(
+            "POST", "/tenants/acme/prefixes",
+            payload={"prefix": "10.0.0.0/16", "origin": 50, "auto_mitigate": True},
+        )
+        assert status == 200
+        assert registration["tenant"] == "acme"
+
+        lines = "\n".join([
+            announce(0.0, "10.0.0.0/16", 50),
+            "this line is garbage",
+            announce(1.0, "10.0.0.0/17", 60),
+        ])
+        status, outcome = api("POST", "/events", raw=lines)
+        assert status == 200
+        assert outcome["accepted"] == 2
+        assert outcome["malformed"] == 1
+        verdicts = outcome["verdicts"]
+        assert [(v["tenant"], v["verdict"], v["confirmed"]) for v in verdicts] == [
+            ("acme", "hijack", True)
+        ]
+
+    def test_stats_and_mitigations_after_hijack(self, api):
+        status, stats = api("GET", "/tenants/acme/stats")
+        assert status == 200
+        assert stats["latency"]["count"] == 1
+        assert stats["verdicts"] == 1
+
+        status, body = api("GET", "/mitigations")
+        assert status == 200
+        records = body["mitigations"]
+        assert len(records) == 1
+        assert records[0]["coverage_after"] > records[0]["coverage_before"]
+
+    def test_health_reflects_counters(self, api):
+        _status, health = api("GET", "/health")
+        assert health["events"]["malformed"] == 1
+        assert health["verdicts"] >= 1
+        assert health["mitigations"] == 1
+
+    def test_tenant_scoped_verdicts(self, api):
+        _status, body = api("GET", "/tenants/acme/verdicts")
+        assert [v["tenant"] for v in body["verdicts"]] == ["acme"]
+        _status, body = api("GET", "/tenants/nobody/verdicts")
+        assert body["verdicts"] == []
+
+    def test_tenants_listing(self, api):
+        _status, body = api("GET", "/tenants")
+        assert [t["tenant"] for t in body["tenants"]] == ["acme"]
+
+    def test_metrics_snapshot(self, api):
+        status, snapshot = api("GET", "/metrics")
+        assert status == 200
+        assert snapshot["counters"]["service.verdicts"] >= 1
+
+    def test_flush_with_nothing_pending(self, api):
+        status, body = api("POST", "/flush")
+        assert status == 200 and body["verdicts"] == []
+
+    def test_deregister(self, api):
+        api("POST", "/tenants/temp/prefixes",
+            payload={"prefix": "192.168.0.0/16", "origin": 70})
+        status, dropped = api(
+            "POST", "/tenants/temp/deregister",
+            payload={"prefix": "192.168.0.0/16"},
+        )
+        assert status == 200
+        assert dropped["prefix"] == "192.168.0.0/16"
+
+
+class TestErrors:
+    def test_unknown_path_is_404(self, api):
+        status, body = api("GET", "/nope")
+        assert status == 404 and "error" in body
+
+    def test_unknown_method_is_405(self, api):
+        status, _body = api("PUT", "/health")
+        assert status == 405
+
+    def test_bad_json_body_is_400(self, api):
+        status, body = api("POST", "/tenants/acme/prefixes", raw="{not json")
+        assert status == 400 and "invalid JSON" in body["error"]
+
+    def test_missing_field_is_400(self, api):
+        status, body = api("POST", "/tenants/acme/prefixes", payload={"origin": 50})
+        assert status == 400 and "prefix" in body["error"]
+
+    def test_bad_prefix_is_400(self, api):
+        status, _body = api(
+            "POST", "/tenants/acme/prefixes",
+            payload={"prefix": "not-a-prefix", "origin": 50},
+        )
+        assert status == 400
+
+    def test_unknown_origin_is_400(self, api):
+        status, body = api(
+            "POST", "/tenants/acme/prefixes",
+            payload={"prefix": "172.16.0.0/12", "origin": 999999},
+        )
+        assert status == 400 and "unknown origin" in body["error"]
+
+
+class TestShutdownEndpoint:
+    def test_post_shutdown_stops_the_daemon(self):
+        lab = HijackLab(build_mini_graph(), seed=1)
+        service = MonitorService(lab, probes=custom_probes("pair", [10, 20]))
+        thread = ServiceThread(service).start()
+        status, body = _request(thread.base_url, "POST", "/shutdown")
+        assert status == 200 and body["status"] == "stopping"
+        thread._thread.join(timeout=30)
+        assert not thread._thread.is_alive()

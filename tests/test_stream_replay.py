@@ -257,6 +257,56 @@ class TestMonitor:
         assert payload["events"]["submitted"] == 3
 
 
+class TestMonitorSchema:
+    """The JSON contract the service API serves verbatim.
+
+    Adding a key is fine; removing or renaming one breaks every consumer
+    of ``/verdicts`` and the stream report files — change this snapshot
+    and docs/service.md together.
+    """
+
+    def report(self, lab):
+        prefix = lab.target_prefix(50)
+        replayer = StreamReplayer(lab)
+        detector = HijackDetector(
+            custom_probes("pair", [10, 20]), replayer.authority
+        )
+        replayer.monitor = OnlineMonitor(lab.view, detector)
+        replayer.run([
+            RoaPublish(at=0.0, prefix=prefix, origin_asn=50),
+            Announce(at=0.0, prefix=prefix, origin_asn=50),
+            Announce(at=1.0, prefix=prefix, origin_asn=60),
+        ])
+        return replayer.monitor.report()
+
+    def test_alarm_schema_snapshot(self, lab):
+        alarm = self.report(lab).first_alarm
+        assert set(alarm.as_dict()) == {
+            "at", "prefix", "origins", "verdict", "invalid_origins",
+            "latency_time", "latency_events", "triggered_probes",
+            "culprit_paths",
+        }
+
+    def test_report_schema_snapshot(self, lab):
+        assert set(self.report(lab).as_dict()) == {
+            "probe_set", "probe_count", "events_seen", "conflicts_judged",
+            "alarm_count", "detection_latency_time",
+            "detection_latency_events", "alarms",
+        }
+
+    def test_round_trip_is_json_stable(self, lab):
+        import json
+
+        payload = self.report(lab).as_dict()
+        once = json.dumps(payload, sort_keys=True)
+        twice = json.dumps(json.loads(once), sort_keys=True)
+        assert once == twice
+        decoded = json.loads(once)
+        assert decoded["alarms"][0]["prefix"] == str(lab.target_prefix(50))
+        assert decoded["alarms"][0]["origins"] == [50, 60]
+        assert decoded["alarms"][0]["invalid_origins"] == [60]
+
+
 class TestBatchCrossCheck:
     """Compiled scenario streams reproduce the batch lab bit-for-bit."""
 

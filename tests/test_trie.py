@@ -110,6 +110,23 @@ class TestWalks:
     def test_covered_by_missing_branch_is_empty(self, populated):
         assert list(populated.covered_by(p("11.0.0.0/8"))) == []
 
+    def test_iter_covered_is_strict(self, populated):
+        # Unlike covered_by, the query prefix itself is excluded.
+        inside = list(populated.iter_covered(p("10.0.0.0/8")))
+        assert [value for _, value in inside] == ["ten-one", "ten-one-two"]
+
+    def test_iter_covered_sorted(self, populated):
+        populated.insert(p("10.0.0.0/9"), "ten-low")
+        keys = [prefix for prefix, _ in populated.iter_covered(p("10.0.0.0/8"))]
+        assert keys == sorted(keys)
+
+    def test_iter_covered_missing_branch_is_empty(self, populated):
+        assert list(populated.iter_covered(p("11.0.0.0/8"))) == []
+
+    def test_iter_covered_host_route_is_empty(self, populated):
+        populated.insert(p("10.1.2.3/32"), "host")
+        assert list(populated.iter_covered(p("10.1.2.3/32"))) == []
+
     def test_items_in_prefix_order(self, populated):
         keys = [prefix for prefix, _ in populated.items()]
         assert keys == sorted(keys)
