@@ -1,0 +1,62 @@
+"""BENCH-INGEST — MRT-style trace compilation at RIB scale.
+
+Not a paper figure: this benchmark tracks the real-trace ingestion path
+(see ``docs/ingestion.md``) end to end — a synthesized RouteViews-style
+RIB dump plus an update feed are parsed by the chunk-streamed
+:class:`~repro.ingest.records.TraceReader`, compiled into stream events,
+and replayed through the incremental :class:`~repro.stream.incremental.
+PrefixLedger`, which is exactly what ``repro-bgp ingest`` does.
+
+It runs :func:`repro.obs.bench.run_ingest_bench` once (the same routine
+behind ``repro-bgp bench --suite ingest``, profile picked by
+``REPRO_BENCH_INGEST_PROFILE``), writes the schema-versioned
+``BENCH_ingest.json`` under ``results/`` for the bench-smoke CI gate's
+compare differ, and asserts:
+
+* every synthesized update record made it through the parser (the
+  profile's record count is a floor, not a target);
+* every injected garbage line was counted as malformed, never fatal;
+* peak RSS growth stayed inside the profile's budget — the streaming
+  readers must keep memory flat no matter how large the trace is.
+"""
+
+from __future__ import annotations
+
+from benchmarks.conftest import INGEST_PROFILE, RESULTS_DIR
+
+from repro.obs.bench import INGEST_PROFILES, run_ingest_bench
+from repro.util.tables import render_table
+
+
+def test_ingest_bench(benchmark, bench_metrics):
+    profile = INGEST_PROFILES[INGEST_PROFILE]
+    payload, path = benchmark.pedantic(
+        run_ingest_bench,
+        args=(profile,),
+        kwargs={
+            "output": RESULTS_DIR / "BENCH_ingest.json",
+            "metrics": bench_metrics,
+        },
+        rounds=1,
+        iterations=1,
+    )
+    derived = payload["derived"]
+
+    rows = [
+        ("update records", derived["updates"]),
+        ("RIB entries", derived["rib_entries"]),
+        ("malformed lines", derived["malformed"]),
+        ("parse records/s", round(derived["parse_records_per_s"], 1)),
+        ("ingest events/s", round(derived["ingest_events_per_s"], 1)),
+        ("RSS growth (kB)", derived["rss_growth_kb"]),
+    ]
+    print()
+    print(render_table(
+        ("metric", "value"),
+        rows,
+        title=f"BENCH-INGEST profile: {INGEST_PROFILE} → {path}",
+    ))
+
+    assert derived["updates"] >= profile.updates
+    assert derived["malformed"] == profile.malformed_lines
+    assert derived["rss_bounded"] is True

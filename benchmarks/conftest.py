@@ -17,6 +17,7 @@ Scale knobs (environment variables):
 ``REPRO_BENCH_STREAM_PROFILE`` stream profile for BENCH-STREAM (default smoke)
 ``REPRO_BENCH_BATCH_PROFILE``  batch profile for BENCH-BATCH (default smoke)
 ``REPRO_BENCH_SERVICE_PROFILE`` service profile for BENCH-SERVICE (default smoke)
+``REPRO_BENCH_INGEST_PROFILE``  ingest profile for BENCH-INGEST (default smoke)
 
 Every ``bench_*`` module reads its knobs from here — nothing else in
 ``benchmarks/`` touches ``os.environ`` — so one table lists every way a
@@ -58,6 +59,7 @@ CACHE_ATTACKS = _env_int("REPRO_BENCH_CACHE_ATTACKS", 600)
 STREAM_PROFILE = os.environ.get("REPRO_BENCH_STREAM_PROFILE") or "smoke"
 BATCH_PROFILE = os.environ.get("REPRO_BENCH_BATCH_PROFILE") or "smoke"
 SERVICE_PROFILE = os.environ.get("REPRO_BENCH_SERVICE_PROFILE") or "smoke"
+INGEST_PROFILE = os.environ.get("REPRO_BENCH_INGEST_PROFILE") or "smoke"
 BENCH_WORKERS = resolve_workers(WORKERS) if WORKERS != 1 else 4
 RESULTS_DIR = Path(os.environ.get("REPRO_BENCH_RESULTS", "results"))
 

@@ -20,6 +20,9 @@ Subcommands cover the everyday workflows:
   random hijack scenarios) through the incremental-convergence engine
   and the online hijack monitor, emitting a JSON report
   (see docs/streaming.md)
+* ``ingest``    — compile an MRT-like trace (RIB dump + update feed)
+  into a stream and replay it through the online monitor — the
+  real-data path (see docs/ingestion.md)
 
 The global ``--metrics <path>`` flag arms the :mod:`repro.obs` metrics
 layer for any subcommand and writes its JSON snapshot (counters, gauges,
@@ -45,12 +48,13 @@ from repro.obs.bench import (
     PROFILES,
     run_batch_bench,
     run_bench,
+    run_ingest_bench,
     run_scale_bench,
     run_service_bench,
     run_stream_bench,
 )
 from repro.obs.metrics import NULL_METRICS, Metrics
-from repro.topology.caida import dump_caida, load_caida
+from repro.topology.caida import dump_caida, load_caida, load_caida_mmap
 from repro.topology.classify import summarize
 from repro.topology.generator import GeneratorConfig, generate_topology
 from repro.util.tables import render_table
@@ -176,13 +180,15 @@ def build_parser() -> argparse.ArgumentParser:
     )
     bench.add_argument("--profile", choices=sorted(PROFILES), default="smoke")
     bench.add_argument(
-        "--suite", choices=("core", "stream", "scale", "batch", "service"),
+        "--suite",
+        choices=("core", "stream", "scale", "batch", "service", "ingest"),
         default="core",
         help="core: sweep/cache/overhead benchmark; stream: event-streaming "
              "benchmark; scale: array vs reference backends at CAIDA scale; "
              "batch: batched multi-origin sweeps and warm-started ladders; "
              "service: monitoring-daemon ingest/verdict loop across shard "
-             "counts",
+             "counts; ingest: synthetic-trace parse + replay through the "
+             "incremental ledger with peak-RSS bounding",
     )
     bench.add_argument(
         "-o", "--output", type=Path, default=None,
@@ -225,6 +231,40 @@ def build_parser() -> argparse.ArgumentParser:
                                  "forged-path / route-leak) fires — for CI "
                                  "pipelines")
 
+    ingest = subparsers.add_parser(
+        "ingest",
+        help="compile an MRT-like trace (RIB dump + update feed) and replay "
+             "it through the online hijack monitor (see docs/ingestion.md)",
+    )
+    ingest.add_argument("--rib", type=Path, default=None,
+                        help="RIB-dump trace file (JSONL/TSV; .gz accepted)")
+    ingest.add_argument("--updates", type=Path, default=None,
+                        help="update-feed trace file (JSONL/TSV; .gz accepted)")
+    ingest.add_argument("--as-count", type=int, default=4270)
+    ingest.add_argument("--topology", type=Path, default=None,
+                        help="CAIDA-format topology file, memory-mapped "
+                             "(default: generate --as-count ASes)")
+    ingest.add_argument("--probes",
+                        choices=("tier1", "bgpmon", "top-degree"),
+                        default="tier1", help="monitor vantage-point set")
+    ingest.add_argument("--strict", action="store_true",
+                        help="raise on the first malformed record, duplicate "
+                             "RIB entry or timestamp regression (with "
+                             "file:line) instead of counting and continuing")
+    ingest.add_argument("--seed-roas", action="store_true",
+                        help="publish a ROA for every RIB-legal "
+                             "(prefix, origin) before the announce wave")
+    ingest.add_argument("--batch-window", type=float, default=0.0,
+                        help="coalescing window in virtual seconds")
+    ingest.add_argument("--queue-limit", type=int, default=64,
+                        help="pending events before a backpressure flush")
+    ingest.add_argument("--compile-only", type=Path, metavar="PATH",
+                        help="write the compiled stream as JSONL and exit")
+    ingest.add_argument("--report", type=Path, default=None,
+                        help="write the JSON report here (default: stdout)")
+    ingest.add_argument("--fail-on-hijack", action="store_true",
+                        help="exit 1 if any CONFIRMED verdict fires")
+
     serve = subparsers.add_parser(
         "serve",
         help="run the always-on multi-tenant hijack-monitoring daemon "
@@ -250,6 +290,10 @@ def build_parser() -> argparse.ArgumentParser:
                        help="JSONL event feed to ingest at startup")
     serve.add_argument("--follow", action="store_true",
                        help="keep tailing --input for new lines")
+    serve.add_argument("--rib", type=Path, default=None,
+                       help="RIB-dump trace: register every legal "
+                            "(prefix, origin) as tenant as<origin> with its "
+                            "ROA before serving (see docs/ingestion.md)")
 
     report = subparsers.add_parser(
         "report", help="run every experiment and write EXPERIMENTS.md"
@@ -502,6 +546,8 @@ def _cmd_bench(args: argparse.Namespace) -> int:
         return _bench_batch(args, sink)
     if args.suite == "service":
         return _bench_service(args, sink)
+    if args.suite == "ingest":
+        return _bench_ingest(args, sink)
     payload, path = run_bench(
         args.profile,
         output=args.output,
@@ -659,6 +705,133 @@ def _bench_service(args: argparse.Namespace, sink: Metrics) -> int:
     return 0
 
 
+def _bench_ingest(args: argparse.Namespace, sink: Metrics) -> int:
+    payload, path = run_ingest_bench(
+        args.profile,
+        output=args.output,
+        metrics=sink if sink.enabled else None,
+    )
+    timings = payload["timings"]
+    derived = payload["derived"]
+    rows = [(key, round(value, 4)) for key, value in sorted(timings.items())]
+    print(render_table(
+        ("phase", "seconds"), rows, title=f"ingest bench profile: {args.profile}"
+    ))
+    print(
+        f"trace: {derived['updates']} update records "
+        f"({derived['trace_bytes'] / 1e6:.1f} MB on disk, "
+        f"{derived['malformed']} malformed) over {derived['rib_entries']} "
+        f"RIB entries at {derived['as_count']} ASes"
+    )
+    print(
+        f"parse {derived['parse_records_per_s']:.0f} records/s, "
+        f"full ingest {derived['ingest_events_per_s']:.0f} events/s "
+        f"(parse headroom {payload['speedups']['parse_headroom']:.1f}x)"
+    )
+    print(
+        f"peak-RSS growth {derived['rss_growth_kb'] / 1024:.0f} MB "
+        f"(budget {derived['rss_budget_mb']} MB) — "
+        + ("bounded" if derived["rss_bounded"] else "EXCEEDED")
+    )
+    if not derived["rss_bounded"]:
+        print("ERROR: ingest run exceeded the chunk-streaming RSS budget",
+              file=sys.stderr)
+        return 1
+    print(f"wrote {path}")
+    return 0
+
+
+def _cmd_ingest(args: argparse.Namespace) -> int:
+    import json
+
+    from repro.detection.probes import (
+        bgpmon_like_probes,
+        tier1_probes,
+        top_degree_probes,
+    )
+    from repro.ingest import TraceFormatError, TracePipeline, run_ingest
+    from repro.stream import write_events
+
+    if args.rib is None and args.updates is None:
+        print("ingest needs --rib, --updates, or both", file=sys.stderr)
+        return 2
+    if args.topology is not None:
+        graph = load_caida_mmap(args.topology)
+    else:
+        graph = generate_topology(
+            GeneratorConfig.scaled(args.as_count, seed=args.seed)
+        )
+    metrics = _metrics(args)
+    lab = HijackLab(
+        graph, seed=args.seed, metrics=metrics,
+        backend=args.backend, batch_origins=args.batch_origins,
+    )
+    pipeline = TracePipeline(
+        rib_path=args.rib,
+        updates_path=args.updates,
+        strict=args.strict,
+        seed_roas=args.seed_roas,
+        metrics=metrics,
+    )
+    try:
+        if args.compile_only is not None:
+            # Streaming write: the compiled events go straight to disk,
+            # so a multi-million-record trace re-emits in bounded memory.
+            path = write_events(args.compile_only, pipeline.events())
+            stats = pipeline.stats()
+            print(f"wrote compiled stream to {path}")
+            print(json.dumps(stats, indent=2, sort_keys=True), file=sys.stderr)
+            return 0
+        probe_sets = {
+            "tier1": tier1_probes,
+            "bgpmon": bgpmon_like_probes,
+            "top-degree": top_degree_probes,
+        }
+        result = run_ingest(
+            lab,
+            pipeline,
+            probes=probe_sets[args.probes](graph),
+            batch_window=args.batch_window,
+            queue_limit=args.queue_limit,
+            metrics=metrics,
+        )
+    except TraceFormatError as error:
+        print(f"trace error: {error}", file=sys.stderr)
+        return 1
+    payload = result.as_dict()
+    text = json.dumps(payload, indent=2, sort_keys=True)
+    if args.report is not None:
+        args.report.parent.mkdir(parents=True, exist_ok=True)
+        args.report.write_text(text + "\n", encoding="utf-8")
+        print(f"wrote {args.report}")
+    else:
+        print(text)
+    report = result.report
+    monitor = report.monitor
+    assert monitor is not None
+    latency = monitor.detection_latency_time
+    print(
+        f"ingested {report.events_submitted} events over "
+        f"{len(report.prefixes)} prefix(es); {len(monitor.alarms)} alarm(s)"
+        + (f", first at latency {latency} virtual s" if latency is not None else ""),
+        file=sys.stderr,
+    )
+    if args.fail_on_hijack:
+        from repro.service.daemon import CONFIRMED_VERDICTS
+
+        confirmed = [
+            alarm for alarm in monitor.alarms
+            if alarm.verdict in CONFIRMED_VERDICTS
+        ]
+        if confirmed:
+            print(
+                f"fail-on-hijack: {len(confirmed)} CONFIRMED verdict(s)",
+                file=sys.stderr,
+            )
+            return 1
+    return 0
+
+
 def _cmd_serve(args: argparse.Namespace) -> int:
     import asyncio
 
@@ -670,7 +843,7 @@ def _cmd_serve(args: argparse.Namespace) -> int:
     from repro.service import MonitorService, ServiceDaemon
 
     if args.topology is not None:
-        graph = load_caida(args.topology)
+        graph = load_caida_mmap(args.topology)
     else:
         graph = generate_topology(
             GeneratorConfig.scaled(args.as_count, seed=args.seed)
@@ -693,6 +866,26 @@ def _cmd_serve(args: argparse.Namespace) -> int:
         queue_limit=args.queue_limit,
         metrics=metrics,
     )
+    if args.rib is not None:
+        from repro.ingest import TraceReader, compile_rib
+
+        baseline = compile_rib(
+            TraceReader(args.rib, metrics=metrics), metrics=metrics
+        )
+        seeded = skipped = 0
+        for prefix, legal in baseline.origins.items():
+            for origin in sorted(legal):
+                try:
+                    service.register(f"as{origin}", prefix, origin)
+                except ValueError:
+                    skipped += 1  # origin absent from this topology
+                else:
+                    seeded += 1
+        print(
+            f"seeded {seeded} registration(s) from {args.rib}"
+            + (f" ({skipped} origin(s) not in topology)" if skipped else ""),
+            flush=True,
+        )
     daemon = ServiceDaemon(service, host=args.host, port=args.port)
 
     async def _run() -> None:
@@ -803,10 +996,7 @@ def _cmd_stream(args: argparse.Namespace) -> int:
         # the whole run.
         assert args.input is not None
         with args.input.open("r", encoding="utf-8") as handle:
-            for raw_line in handle:
-                line = raw_line.strip()
-                if line:
-                    replayer.submit_line(line)
+            replayer.submit_lines(handle)
         report = replayer.finish()
     else:
         report = replayer.run(events)
@@ -889,6 +1079,7 @@ _HANDLERS = {
     "validate": _cmd_validate,
     "bench": _cmd_bench,
     "stream": _cmd_stream,
+    "ingest": _cmd_ingest,
     "serve": _cmd_serve,
     "report": _cmd_report,
 }

@@ -1,0 +1,329 @@
+"""Compiling trace records into stream events and legal-origin state.
+
+The cloudtrie exemplar pipeline is *build a trie from the RIB, then
+classify a firehose of updates against it*; this module is that shape
+for the repro's event model:
+
+* :func:`compile_rib` folds a RIB dump into a :class:`RibBaseline` —
+  the per-prefix **legal-origin sets** in a
+  :class:`~repro.prefixes.trie.PrefixTrie` plus the initial
+  :class:`~repro.stream.events.Announce` wave (one honest announce per
+  distinct ``(prefix, origin)``, stamped with the RIB timestamp). A RIB
+  dump has at most one entry per ``(peer, prefix)``; duplicates raise
+  in strict mode (with line coordinates) and are counted
+  (``ingest.duplicate_rib``) and dropped in lenient mode. The same
+  ``(prefix, origin)`` seen via *different* peers is normal MOAS-free
+  BGP and folds into one announce.
+
+* :func:`compile_updates` lowers the update feed into
+  ``Announce``/``Withdraw`` events whose real timestamps drive the
+  replay engine's virtual clock. Timestamps must be non-decreasing:
+  strict mode raises on regressions, lenient mode counts them
+  (``ingest.out_of_order``) and passes the event through — the replay
+  engine applies-and-counts late updates rather than dropping them.
+
+Path conventions (see :mod:`repro.ingest.records`): a ``rib`` record's
+path is the peer-received propagation path (origin **last**); an
+``announce`` record's path is the claim as it left the announcer
+(announcer **first**, claimed origin last), so a forged type-1/N claim
+is exactly ``HijackScenario.forged_path`` and the honest claim is the
+single-element ``(origin,)``. This is what makes
+``events → records → events`` lossless for everything except replay
+markers, which by construction only resolve against live routing state
+and therefore cannot ride a trace file (:func:`events_to_records`
+refuses them).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Iterable, Iterator
+
+from repro.ingest.records import TraceFormatError, TraceReader, TraceRecord
+from repro.obs.metrics import NULL_METRICS, Metrics
+from repro.prefixes.prefix import Prefix
+from repro.prefixes.trie import PrefixTrie
+from repro.service.tenants import TenantRegistration, TenantRegistry
+from repro.stream.events import Announce, RoaPublish, StreamEvent, Withdraw
+
+__all__ = [
+    "RibBaseline",
+    "UpdateCompiler",
+    "compile_rib",
+    "compile_updates",
+    "events_to_records",
+    "seed_registry",
+]
+
+
+@dataclass
+class RibBaseline:
+    """What a RIB dump pins down: who legitimately originates what.
+
+    ``origins`` maps each announced prefix to its legal-origin set (the
+    detection trie); ``announces`` is the initial event wave that
+    reconstructs the dump's steady state through the replay engine,
+    sorted by ``(at, prefix, origin)`` for determinism.
+    """
+
+    origins: PrefixTrie[set[int]] = field(default_factory=PrefixTrie)
+    announces: list[Announce] = field(default_factory=list)
+    entries: int = 0
+    duplicates: int = 0
+    misplaced: int = 0
+    peers: set[int] = field(default_factory=set)
+
+    @property
+    def start_at(self) -> float:
+        """The dump's epoch: the earliest announce timestamp (0.0 if empty)."""
+        return self.announces[0].at if self.announces else 0.0
+
+    def classify(self, prefix: Prefix, origin_asn: int) -> str:
+        """Classify one update against the baseline (the cloudtrie rule).
+
+        ``legit`` — the longest covering legal-origin set contains the
+        origin; ``hijack`` — a covering set exists but excludes it (a
+        MOAS conflict or sub-prefix grab); ``unknown_prefix`` — no
+        covering entry, nothing to judge against.
+        """
+        match = self.origins.longest_match_prefix(prefix)
+        if match is None:
+            return "unknown_prefix"
+        _covering, legal = match
+        return "legit" if origin_asn in legal else "hijack"
+
+    def roa_wave(self) -> list[RoaPublish]:
+        """One ROA per legal ``(prefix, origin)`` at the dump's epoch.
+
+        The paper's "publish your route origins" lever applied to the
+        whole baseline — feeding these before the announce wave lets
+        the online monitor confirm conflicts as hijacks.
+        """
+        return [
+            RoaPublish(at=self.start_at, prefix=prefix, origin_asn=origin)
+            for prefix, legal in self.origins.items()
+            for origin in sorted(legal)
+        ]
+
+    def as_dict(self) -> dict[str, object]:
+        return {
+            "entries": self.entries,
+            "duplicates": self.duplicates,
+            "misplaced": self.misplaced,
+            "peers": len(self.peers),
+            "prefixes": len(self.origins),
+            "origins": {
+                str(prefix): sorted(legal)
+                for prefix, legal in self.origins.items()
+            },
+        }
+
+
+def _located(source: str, record: TraceRecord, message: str) -> TraceFormatError:
+    return TraceFormatError(f"{source}:{record.line}: {message}")
+
+
+def compile_rib(
+    records: Iterable[TraceRecord],
+    *,
+    strict: bool = False,
+    metrics: Metrics | None = None,
+    source: str | None = None,
+) -> RibBaseline:
+    """Fold RIB records into a :class:`RibBaseline` (see module docs)."""
+    metrics = metrics if metrics is not None else NULL_METRICS
+    if source is None:
+        source = str(records.path) if isinstance(records, TraceReader) else "<rib>"
+    baseline = RibBaseline()
+    seen_entries: set[tuple[int, Prefix]] = set()
+    wave: dict[tuple[Prefix, int], Announce] = {}
+    for record in records:
+        if record.kind != "rib":
+            error = _located(
+                source, record, f"{record.kind} record in a RIB dump"
+            )
+            if strict:
+                raise error
+            baseline.misplaced += 1
+            metrics.count("ingest.misplaced")
+            continue
+        entry_key = (record.peer_asn, record.prefix)
+        if entry_key in seen_entries:
+            error = _located(
+                source, record,
+                f"duplicate RIB entry for peer AS{record.peer_asn} "
+                f"prefix {record.prefix}",
+            )
+            if strict:
+                raise error
+            baseline.duplicates += 1
+            metrics.count("ingest.duplicate_rib")
+            continue
+        seen_entries.add(entry_key)
+        baseline.entries += 1
+        baseline.peers.add(record.peer_asn)
+        origin = record.origin_asn
+        legal = baseline.origins.setdefault(record.prefix, set())
+        legal.add(origin)
+        key = (record.prefix, origin)
+        if key not in wave or record.at < wave[key].at:
+            wave[key] = Announce(
+                at=record.at, prefix=record.prefix, origin_asn=origin
+            )
+    baseline.announces = sorted(
+        wave.values(), key=lambda event: (event.at, str(event.prefix),
+                                          event.origin_asn)
+    )
+    metrics.count("ingest.rib_entries", baseline.entries)
+    return baseline
+
+
+class UpdateCompiler:
+    """Lower update-feed records into stream events, counting anomalies.
+
+    Iterable once; after the sweep :attr:`out_of_order` /
+    :attr:`misplaced` carry what lenient mode skipped past, and
+    :attr:`events` the number of events produced.
+    """
+
+    def __init__(
+        self,
+        records: Iterable[TraceRecord],
+        *,
+        strict: bool = False,
+        metrics: Metrics | None = None,
+        source: str | None = None,
+    ) -> None:
+        if source is None:
+            source = (
+                str(records.path) if isinstance(records, TraceReader)
+                else "<updates>"
+            )
+        self.records = records
+        self.strict = strict
+        self.metrics = metrics if metrics is not None else NULL_METRICS
+        self.source = source
+        self.events = 0
+        self.out_of_order = 0
+        self.misplaced = 0
+
+    def __iter__(self) -> Iterator[StreamEvent]:
+        clock: float | None = None
+        for record in self.records:
+            if record.kind == "rib":
+                error = _located(
+                    self.source, record, "rib record in an update feed"
+                )
+                if self.strict:
+                    raise error
+                self.misplaced += 1
+                self.metrics.count("ingest.misplaced")
+                continue
+            if clock is not None and record.at < clock:
+                error = _located(
+                    self.source, record,
+                    f"timestamp {record.at} precedes {clock} "
+                    f"(feed must be non-decreasing)",
+                )
+                if self.strict:
+                    raise error
+                self.out_of_order += 1
+                self.metrics.count("ingest.out_of_order")
+            else:
+                clock = record.at
+            self.events += 1
+            if record.kind == "withdraw":
+                yield Withdraw(
+                    at=record.at, prefix=record.prefix,
+                    origin_asn=record.origin_asn,
+                )
+            else:
+                # Announcer first, claimed origin last: a bare origin is
+                # the honest claim; anything longer is the claim itself.
+                path = record.path if len(record.path) > 1 else ()
+                yield Announce(
+                    at=record.at, prefix=record.prefix,
+                    origin_asn=record.path[0], path=tuple(path),
+                )
+
+
+def compile_updates(
+    records: Iterable[TraceRecord],
+    *,
+    strict: bool = False,
+    metrics: Metrics | None = None,
+    source: str | None = None,
+) -> UpdateCompiler:
+    """The update-feed compiler (an iterable of events; see class docs)."""
+    return UpdateCompiler(records, strict=strict, metrics=metrics, source=source)
+
+
+def events_to_records(
+    events: Iterable[StreamEvent], *, peer_asn: int | None = None
+) -> list[TraceRecord]:
+    """Serialize announce/withdraw events back into update-feed records.
+
+    The inverse of :func:`compile_updates` — used by the round-trip
+    batteries and by tooling that re-emits a compiled campaign as a
+    trace. Replay-marker announces (type-U / leak) resolve only against
+    live routing state, and ROA / defense events have no MRT analogue;
+    both raise ``ValueError``, so callers filter deliberately rather
+    than lose events silently. *peer_asn* defaults to the announcer.
+    """
+    records: list[TraceRecord] = []
+    for event in events:
+        if isinstance(event, Announce):
+            if event.replay:
+                raise ValueError(
+                    f"replay-marker announce ({event.replay!r}) cannot ride "
+                    f"a trace file"
+                )
+            path = event.path if event.path else (event.origin_asn,)
+            records.append(
+                TraceRecord(
+                    kind="announce", at=event.at,
+                    peer_asn=event.origin_asn if peer_asn is None else peer_asn,
+                    prefix=event.prefix, path=tuple(path),
+                )
+            )
+        elif isinstance(event, Withdraw):
+            records.append(
+                TraceRecord(
+                    kind="withdraw", at=event.at,
+                    peer_asn=event.origin_asn if peer_asn is None else peer_asn,
+                    prefix=event.prefix, path=(event.origin_asn,),
+                )
+            )
+        else:
+            raise ValueError(
+                f"{type(event).__name__} events have no trace-record form"
+            )
+    return records
+
+
+def seed_registry(
+    registry: TenantRegistry,
+    baseline: RibBaseline,
+    *,
+    tenant: str | None = None,
+    auto_mitigate: bool = False,
+) -> list[TenantRegistration]:
+    """Register every legal ``(prefix, origin)`` from *baseline*.
+
+    Each origin becomes (by default) its own tenant ``as<origin>`` — the
+    bulk-onboarding path that turns a RIB dump into a fully-registered
+    monitoring service. Returns the registrations in deterministic
+    ``(prefix, origin)`` order.
+    """
+    registrations: list[TenantRegistration] = []
+    for prefix, legal in baseline.origins.items():
+        for origin in sorted(legal):
+            registration = TenantRegistration(
+                tenant=tenant if tenant is not None else f"as{origin}",
+                prefix=prefix,
+                origin_asn=origin,
+                auto_mitigate=auto_mitigate,
+            )
+            registry.register(registration)
+            registrations.append(registration)
+    return registrations

@@ -1,0 +1,322 @@
+"""The MRT-like trace record format: parsing, serialization, streaming.
+
+Real RouteViews/RIPE RIS archives ship MRT binary (RFC 6396): RIB
+snapshots (``TABLE_DUMP_V2``) plus update feeds (``BGP4MP``), each entry
+carrying a collector peer, a prefix, an AS path (peer first, origin
+**last**) and a timestamp. This module implements the same information
+model over two zero-dependency text encodings, so traces are diffable,
+greppable and trivially synthesized while keeping MRT's semantics:
+
+* **JSONL** — one object per line::
+
+      {"path":[3356,7018,64512],"peer":3356,"prefix":"10.0.0.0/16","ts":17.0,"type":"announce"}
+
+* **TSV** — five tab-separated columns::
+
+      ts<TAB>type<TAB>peer<TAB>prefix<TAB>path
+
+  with the path space-separated (``3356 7018 64512``). Comment lines
+  start with ``#``; blank lines are ignored. The two encodings are
+  interchangeable line by line (a reader auto-detects per line on the
+  leading ``{``).
+
+Record types are ``rib`` (one RIB-dump entry: what *peer* currently
+holds), ``announce`` and ``withdraw`` (update-feed deltas). One
+deliberate divergence from raw MRT: withdraw records carry the withdrawn
+origin as their (single-element) path, because the repro's event model
+is origin-addressed — a real-BGP withdraw names only (peer, prefix) and
+a converter from true MRT must resolve the origin against the peer's
+RIB, which is exactly what :mod:`repro.ingest.compiler` does not need to
+guess with this format.
+
+Reading is **chunk-streamed**: :class:`TraceReader` pulls fixed-size
+binary chunks (gzip members included) and splits lines itself, so a
+multi-million-record trace never materializes in memory. Strict mode
+raises :class:`TraceFormatError` with ``path:line`` coordinates; lenient
+mode counts malformed records (``ingest.malformed`` via
+:mod:`repro.obs`) and keeps going — one mangled collector line must not
+take down a monitor.
+"""
+
+from __future__ import annotations
+
+import gzip
+import json
+import math
+from dataclasses import dataclass, field
+from pathlib import Path
+from typing import IO, Iterable, Iterator
+
+from repro.obs.metrics import NULL_METRICS, Metrics
+from repro.prefixes.prefix import Prefix, PrefixError
+
+__all__ = [
+    "RECORD_TYPES",
+    "TraceFormatError",
+    "TraceReader",
+    "TraceRecord",
+    "format_record",
+    "parse_record",
+    "read_trace",
+    "write_trace",
+]
+
+#: Valid values for :attr:`TraceRecord.kind`.
+RECORD_TYPES = ("rib", "announce", "withdraw")
+
+_MAX_ASN = 2**32 - 1
+_CHUNK_SIZE = 1 << 20  # 1 MiB of raw bytes per read
+
+
+class TraceFormatError(ValueError):
+    """A line does not encode a valid trace record (carries ``path:line``)."""
+
+
+@dataclass(frozen=True, order=True)
+class TraceRecord:
+    """One trace line: *peer* reports *prefix* via *path* at time *ts*.
+
+    ``path`` is the AS path exactly as MRT carries it — from the
+    collector peer toward the origin, origin **last** — and is never
+    empty (a withdraw's path is the single withdrawn origin). ``line``
+    is the 1-based source line for error coordinates; it is excluded
+    from equality so parse → serialize → parse round-trips compare
+    clean.
+    """
+
+    kind: str
+    at: float
+    peer_asn: int
+    prefix: Prefix
+    path: tuple[int, ...]
+    line: int = field(default=0, compare=False)
+
+    def __post_init__(self) -> None:
+        if self.kind not in RECORD_TYPES:
+            raise ValueError(f"unknown record type {self.kind!r}")
+        if not self.path:
+            raise ValueError("a trace record's path must name at least the origin")
+
+    @property
+    def origin_asn(self) -> int:
+        """The origin AS the record attributes the prefix to (path's last hop)."""
+        return self.path[-1]
+
+
+# -- per-line parsing ------------------------------------------------------
+
+
+def _check_asn(value: object, what: str) -> int:
+    if not isinstance(value, int) or isinstance(value, bool):
+        raise TraceFormatError(f"non-integer {what} {value!r}")
+    if not 0 < value <= _MAX_ASN:
+        raise TraceFormatError(f"{what} {value} outside 1..2^32-1")
+    return value
+
+
+def _build_record(
+    kind: object, ts: object, peer: object, prefix_text: object, path: Iterable[object],
+    *, line: int,
+) -> TraceRecord:
+    if kind not in RECORD_TYPES:
+        raise TraceFormatError(f"unknown record type {kind!r}")
+    if isinstance(ts, bool) or not isinstance(ts, (int, float)) or not math.isfinite(ts):
+        raise TraceFormatError(f"missing/invalid timestamp {ts!r}")
+    peer_asn = _check_asn(peer, "peer ASN")
+    if not isinstance(prefix_text, str):
+        raise TraceFormatError(f"missing/invalid prefix {prefix_text!r}")
+    try:
+        prefix = Prefix.parse(prefix_text)
+    except PrefixError as error:
+        raise TraceFormatError(f"bad prefix {prefix_text!r}: {error}") from error
+    hops = tuple(_check_asn(hop, "path hop") for hop in path)
+    if not hops:
+        raise TraceFormatError("empty AS path")
+    return TraceRecord(
+        kind=kind, at=float(ts), peer_asn=peer_asn, prefix=prefix, path=hops,
+        line=line,
+    )
+
+
+def _parse_json_record(line: str, number: int) -> TraceRecord:
+    try:
+        payload = json.loads(line)
+    except json.JSONDecodeError as error:
+        raise TraceFormatError(f"invalid JSON: {error}") from error
+    if not isinstance(payload, dict):
+        raise TraceFormatError(
+            f"record must be an object, got {type(payload).__name__}"
+        )
+    path = payload.get("path")
+    if not isinstance(path, list):
+        raise TraceFormatError(f"missing/invalid path {path!r}")
+    return _build_record(
+        payload.get("type"), payload.get("ts"), payload.get("peer"),
+        payload.get("prefix"), path, line=number,
+    )
+
+
+def _parse_tsv_record(line: str, number: int) -> TraceRecord:
+    fields = line.split("\t")
+    if len(fields) != 5:
+        raise TraceFormatError(
+            f"expected 5 tab-separated fields, got {len(fields)}"
+        )
+    ts_text, kind, peer_text, prefix_text, path_text = fields
+    try:
+        ts: float = float(ts_text)
+    except ValueError as error:
+        raise TraceFormatError(f"missing/invalid timestamp {ts_text!r}") from error
+    try:
+        peer: object = int(peer_text)
+    except ValueError:
+        peer = peer_text  # let the shared validator phrase the error
+    path: list[object] = []
+    for hop_text in path_text.split():
+        try:
+            path.append(int(hop_text))
+        except ValueError:
+            path.append(hop_text)
+    return _build_record(kind, ts, peer, prefix_text, path, line=number)
+
+
+def parse_record(line: str, *, number: int = 0) -> TraceRecord:
+    """Parse one trace line (either encoding, auto-detected per line)."""
+    stripped = line.strip()
+    if not stripped or stripped.startswith("#"):
+        raise TraceFormatError("blank/comment line is not a record")
+    if stripped.startswith("{"):
+        return _parse_json_record(stripped, number)
+    return _parse_tsv_record(stripped, number)
+
+
+# -- serialization ---------------------------------------------------------
+
+
+def format_record(record: TraceRecord, *, encoding: str = "jsonl") -> str:
+    """One serialized line (no newline); inverse of :func:`parse_record`."""
+    if encoding == "jsonl":
+        payload = {
+            "path": list(record.path),
+            "peer": record.peer_asn,
+            "prefix": str(record.prefix),
+            "ts": record.at,
+            "type": record.kind,
+        }
+        return json.dumps(payload, sort_keys=True, separators=(",", ":"))
+    if encoding == "tsv":
+        path = " ".join(str(hop) for hop in record.path)
+        return (
+            f"{record.at}\t{record.kind}\t{record.peer_asn}"
+            f"\t{record.prefix}\t{path}"
+        )
+    raise ValueError(f"unknown trace encoding {encoding!r}")
+
+
+def write_trace(
+    path: str | Path, records: Iterable[TraceRecord], *, encoding: str = "jsonl"
+) -> Path:
+    """Write records as a deterministic trace file (order preserved)."""
+    path = Path(path)
+    path.parent.mkdir(parents=True, exist_ok=True)
+    opener = gzip.open if path.suffix == ".gz" else open
+    with opener(path, "wt", encoding="utf-8") as handle:
+        for record in records:
+            handle.write(format_record(record, encoding=encoding))
+            handle.write("\n")
+    return path
+
+
+# -- chunk-streamed reading ------------------------------------------------
+
+
+def _open_binary(path: Path) -> IO[bytes]:
+    if path.suffix == ".gz":
+        return gzip.open(path, "rb")
+    return path.open("rb")
+
+
+def _iter_chunk_lines(handle: IO[bytes], chunk_size: int) -> Iterator[bytes]:
+    """Split a binary stream into lines, *chunk_size* raw bytes at a time."""
+    buffer = b""
+    while True:
+        chunk = handle.read(chunk_size)
+        if not chunk:
+            break
+        buffer += chunk
+        *lines, buffer = buffer.split(b"\n")
+        yield from lines
+    if buffer:
+        yield buffer
+
+
+class TraceReader:
+    """Stream records out of a trace file, counting what it skips.
+
+    Iterating yields :class:`TraceRecord` objects in file order. In
+    strict mode any malformed line raises :class:`TraceFormatError`
+    with ``path:line`` coordinates; in lenient mode it increments
+    :attr:`malformed` (and the ``ingest.malformed`` metric) and moves
+    on. ``lines`` / ``records`` expose the running totals, so callers
+    can report coverage after the stream is drained.
+    """
+
+    def __init__(
+        self,
+        path: str | Path,
+        *,
+        strict: bool = False,
+        metrics: Metrics | None = None,
+        chunk_size: int = _CHUNK_SIZE,
+    ) -> None:
+        self.path = Path(path)
+        self.strict = strict
+        self.metrics = metrics if metrics is not None else NULL_METRICS
+        self.chunk_size = chunk_size
+        self.lines = 0
+        self.records = 0
+        self.malformed = 0
+        self.errors: list[str] = []
+
+    def __iter__(self) -> Iterator[TraceRecord]:
+        with _open_binary(self.path) as handle:
+            for number, raw in enumerate(
+                _iter_chunk_lines(handle, self.chunk_size), start=1
+            ):
+                self.lines = number
+                line = raw.decode("utf-8", "replace").strip()
+                if not line or line.startswith("#"):
+                    continue
+                try:
+                    record = parse_record(line, number=number)
+                except TraceFormatError as error:
+                    self.note_malformed(error, number)
+                    continue
+                self.records += 1
+                self.metrics.count("ingest.records")
+                yield record
+
+    def note_malformed(self, error: Exception, number: int) -> None:
+        """Count (lenient) or raise (strict) one bad line."""
+        located = TraceFormatError(f"{self.path}:{number}: {error}")
+        if self.strict:
+            raise located from error
+        self.malformed += 1
+        self.metrics.count("ingest.malformed")
+        if len(self.errors) < 32:
+            self.errors.append(str(located))
+
+
+def read_trace(
+    path: str | Path,
+    *,
+    strict: bool = False,
+    metrics: Metrics | None = None,
+) -> list[TraceRecord]:
+    """Read a whole (small) trace into memory — tests and tooling only.
+
+    The streaming paths go through :class:`TraceReader` directly; this
+    convenience exists for fixtures and round-trip checks where the
+    list is the point.
+    """
+    return list(TraceReader(path, strict=strict, metrics=metrics))

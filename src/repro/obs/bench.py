@@ -36,6 +36,8 @@ __all__ = [
     "BATCH_PROFILES",
     "BatchBenchProfile",
     "BenchProfile",
+    "INGEST_PROFILES",
+    "IngestBenchProfile",
     "PROFILES",
     "SCALE_PROFILES",
     "SCHEMA",
@@ -47,6 +49,7 @@ __all__ = [
     "env_fingerprint",
     "run_batch_bench",
     "run_bench",
+    "run_ingest_bench",
     "run_scale_bench",
     "run_service_bench",
     "run_stream_bench",
@@ -1109,6 +1112,254 @@ def run_service_bench(
     path = Path(output) if output is not None else Path("BENCH_service.json")
     path.parent.mkdir(parents=True, exist_ok=True)
     path.write_text(json.dumps(payload, indent=2, sort_keys=True), encoding="utf-8")
+    return payload, path
+
+
+@dataclass(frozen=True)
+class IngestBenchProfile:
+    """Scale knobs for ``repro-bgp bench --suite ingest``.
+
+    The workload is the real-trace path at RIB scale: a synthetic
+    MRT-like trace — a RIB dump of ``rib_entries`` records (every
+    prefix reported by ``peers`` collector peers) plus ``updates``
+    announce/withdraw churn records with monotone timestamps and a few
+    garbage lines — is written to disk, then (a) stream-parsed end to
+    end and (b) pushed through the chunked ingest pipeline into the
+    incremental per-prefix ledgers. Peak-RSS growth across the whole
+    run must stay under ``rss_budget_mb`` — the bench *asserts* the
+    chunk-streamed property instead of trusting it: materializing the
+    multi-hundred-MB record stream would blow the budget immediately.
+    """
+
+    name: str
+    as_count: int
+    rib_entries: int
+    updates: int
+    peers: int = 4
+    malformed_lines: int = 5
+    rss_budget_mb: int = 512
+    queue_limit: int = 256
+    seed: int = 2014
+
+
+# tiny: seconds-cheap, the CI ingest-smoke gate; smoke: a minutes-cheap
+# local sanity run; default: the committed-baseline run pushing >= 1M
+# update records through the incremental ledger.
+INGEST_PROFILES: Mapping[str, IngestBenchProfile] = {
+    "tiny": IngestBenchProfile(
+        "tiny", as_count=300, rib_entries=200, updates=20_000,
+        rss_budget_mb=384,
+    ),
+    "smoke": IngestBenchProfile(
+        "smoke", as_count=300, rib_entries=400, updates=200_000,
+        rss_budget_mb=512,
+    ),
+    "default": IngestBenchProfile(
+        "default", as_count=300, rib_entries=600, updates=1_000_000,
+        rss_budget_mb=768,
+    ),
+}
+
+
+def _maxrss_kb() -> float:
+    """Peak RSS of this process in kB (Linux reports kB, Darwin bytes)."""
+    import resource
+    import sys
+
+    peak = resource.getrusage(resource.RUSAGE_SELF).ru_maxrss
+    return peak / 1024.0 if sys.platform == "darwin" else float(peak)
+
+
+def _synthesize_trace(
+    profile: IngestBenchProfile, lab, directory: Path
+) -> tuple[Path, Path, int]:
+    """Write the deterministic RIB + update trace files; returns sizes.
+
+    Lines are formatted directly (key-sorted, compact — byte-identical
+    to ``format_record``) because a million ``json.dumps`` calls would
+    put serializer overhead, not ingest, on the clock.
+    """
+    from repro.util.rng import make_rng
+
+    rng = make_rng(profile.seed, "ingest-bench")
+    pool = sorted(lab.attacker_pool())
+    prefix_count = max(1, min(profile.rib_entries // max(1, profile.peers),
+                              len(pool)))
+    origins = [pool[i % len(pool)] for i in range(prefix_count)]
+    prefixes = [str(lab.plan.primary_prefix(asn)) for asn in origins]
+    peers = pool[: profile.peers]
+
+    rib_path = directory / "bench_rib.jsonl"
+    with rib_path.open("w", encoding="utf-8") as handle:
+        entry = 0
+        for index, prefix in enumerate(prefixes):
+            origin = origins[index]
+            for peer in peers:
+                if entry >= profile.rib_entries:
+                    break
+                handle.write(
+                    f'{{"path":[{peer},{origin}],"peer":{peer},'
+                    f'"prefix":"{prefix}","ts":0.0,"type":"rib"}}\n'
+                )
+                entry += 1
+
+    updates_path = directory / "bench_updates.jsonl"
+    garbage_every = (
+        profile.updates // (profile.malformed_lines + 1)
+        if profile.malformed_lines else 0
+    )
+    # Announce/withdraw-newest churn: the journal-rewind fast path the
+    # incremental ledger was built for, exercised across every prefix.
+    stacks: list[list[int]] = [[] for _ in prefixes]
+    garbage_left = profile.malformed_lines
+    with updates_path.open("w", encoding="utf-8") as handle:
+        for index in range(profile.updates):
+            ts = round(1.0 + index * 0.001, 3)
+            slot = rng.randrange(prefix_count)
+            prefix = prefixes[slot]
+            stack = stacks[slot]
+            if stack and rng.random() < 0.5:
+                origin = stack.pop()
+                handle.write(
+                    f'{{"path":[{origin}],"peer":{origin},'
+                    f'"prefix":"{prefix}","ts":{ts},"type":"withdraw"}}\n'
+                )
+            else:
+                origin = pool[rng.randrange(len(pool))]
+                stack.append(origin)
+                handle.write(
+                    f'{{"path":[{origin}],"peer":{origin},'
+                    f'"prefix":"{prefix}","ts":{ts},"type":"announce"}}\n'
+                )
+            if garbage_every and garbage_left and (index + 1) % garbage_every == 0:
+                handle.write("this line is garbage\n")
+                garbage_left -= 1
+    trace_bytes = rib_path.stat().st_size + updates_path.stat().st_size
+    return rib_path, updates_path, trace_bytes
+
+
+def run_ingest_bench(
+    profile: IngestBenchProfile | str,
+    *,
+    output: str | Path | None = None,
+    metrics: Metrics | None = None,
+) -> tuple[dict[str, object], Path]:
+    """Benchmark the trace-ingestion path and write ``BENCH_ingest.json``.
+
+    Three timed phases after topology build: ``synthesize_s`` (write
+    the trace to disk), ``parse_s`` (chunk-streamed record parsing of
+    the update feed, nothing applied) and ``ingest_s`` (the full
+    pipeline — RIB baseline compile, announce wave, every update
+    through the incremental per-prefix ledgers). Derived throughputs
+    plus the RSS bound: ``derived.rss_bounded`` must hold or the bench
+    raises — a regression to whole-file materialization is an error,
+    not a slow result.
+    """
+    import tempfile
+
+    from repro.attacks.lab import HijackLab
+    from repro.ingest.pipeline import TracePipeline, run_ingest
+    from repro.ingest.records import TraceReader
+    from repro.topology.generator import GeneratorConfig, generate_topology
+
+    if isinstance(profile, str):
+        try:
+            profile = INGEST_PROFILES[profile]
+        except KeyError:
+            raise ValueError(
+                f"unknown ingest bench profile {profile!r}; "
+                f"choices: {sorted(INGEST_PROFILES)}"
+            ) from None
+    metrics = metrics if metrics is not None else Metrics()
+    timings: dict[str, float] = {}
+    bench_start = time.perf_counter()
+    rss_before_kb = _maxrss_kb()
+
+    def timed(key: str):
+        return _PhaseTimer(key, timings, metrics)
+
+    with timed("topology_s"):
+        graph = generate_topology(
+            GeneratorConfig.scaled(profile.as_count, seed=profile.seed)
+        )
+        lab = HijackLab(graph, seed=profile.seed, metrics=metrics)
+
+    with tempfile.TemporaryDirectory(prefix="repro-ingest-bench-") as tmp:
+        directory = Path(tmp)
+        with timed("synthesize_s"):
+            rib_path, updates_path, trace_bytes = _synthesize_trace(
+                profile, lab, directory
+            )
+
+        with timed("parse_s"):
+            reader = TraceReader(updates_path, metrics=metrics)
+            parsed = sum(1 for _record in reader)
+
+        with timed("ingest_s"):
+            pipeline = TracePipeline(
+                rib_path=rib_path, updates_path=updates_path, metrics=metrics
+            )
+            result = run_ingest(
+                lab, pipeline, queue_limit=profile.queue_limit, metrics=metrics
+            )
+
+        rss_after_kb = _maxrss_kb()
+        report = result.report
+
+    rss_growth_kb = rss_after_kb - rss_before_kb
+    rss_bounded = rss_growth_kb <= profile.rss_budget_mb * 1024
+    metrics.gauge("ingest.bench.rss_peak_kb", rss_after_kb)
+    metrics.gauge("ingest.bench.rss_growth_kb", rss_growth_kb)
+    metrics.gauge("ingest.bench.trace_bytes", float(trace_bytes))
+
+    timings["total_s"] = time.perf_counter() - bench_start
+    snapshot = metrics.snapshot()
+    parse_per_s = parsed / max(timings["parse_s"], 1e-9)
+    ingest_per_s = report.events_submitted / max(timings["ingest_s"], 1e-9)
+    payload: dict[str, object] = {
+        "schema": SCHEMA,
+        "name": f"ingest-{profile.name}",
+        "created": time.strftime("%Y-%m-%dT%H:%M:%SZ", time.gmtime()),
+        "config": asdict(profile),
+        "env": env_fingerprint(),
+        "timings": timings,
+        "counters": snapshot["counters"],
+        "gauges": snapshot["gauges"],
+        "spans": snapshot["spans"],
+        "speedups": {
+            # How much faster pure parsing runs than the full pipeline —
+            # i.e. how far the ledger, not the reader, is the bottleneck.
+            "parse_headroom": parse_per_s / max(ingest_per_s, 1e-9),
+        },
+        "derived": {
+            "as_count": len(graph),
+            "updates": parsed,
+            "rib_entries": profile.rib_entries,
+            "trace_bytes": trace_bytes,
+            "malformed": reader.malformed,
+            "events_submitted": report.events_submitted,
+            "events_applied": report.events_applied,
+            "parse_records_per_s": parse_per_s,
+            "ingest_events_per_s": ingest_per_s,
+            "rss_peak_kb": rss_after_kb,
+            "rss_growth_kb": rss_growth_kb,
+            "rss_budget_mb": profile.rss_budget_mb,
+            "rss_bounded": rss_bounded,
+        },
+    }
+    path = Path(output) if output is not None else Path("BENCH_ingest.json")
+    path.parent.mkdir(parents=True, exist_ok=True)
+    path.write_text(json.dumps(payload, indent=2, sort_keys=True), encoding="utf-8")
+    if parsed < profile.updates:
+        raise RuntimeError(
+            f"ingest bench parsed {parsed} update records, "
+            f"expected >= {profile.updates}"
+        )
+    if not rss_bounded:
+        raise RuntimeError(
+            f"ingest bench peak-RSS growth {rss_growth_kb / 1024:.0f} MB "
+            f"exceeded the {profile.rss_budget_mb} MB chunk-streaming budget"
+        )
     return payload, path
 
 

@@ -93,6 +93,27 @@ class PrefixTrie(Generic[V]):
             parent.children[bit] = None
         return value  # type: ignore[return-value]
 
+    def setdefault(self, prefix: Prefix, default: V) -> V:
+        """Return the value at *prefix*, inserting *default* if absent.
+
+        The accumulator idiom (``trie.setdefault(p, set()).add(x)``)
+        used by the RIB compiler to grow per-prefix legal-origin sets
+        in one walk instead of a get-then-insert pair.
+        """
+        node = self._root
+        for index in range(prefix.length):
+            bit = prefix.bit(index)
+            child = node.children[bit]
+            if child is None:
+                child = _Node()
+                node.children[bit] = child
+            node = child
+        if not node.has_value:
+            node.value = default
+            node.has_value = True
+            self._count += 1
+        return node.value  # type: ignore[return-value]
+
     def clear(self) -> None:
         self._root = _Node()
         self._count = 0

@@ -36,13 +36,21 @@ from __future__ import annotations
 
 import asyncio
 import json
+import os
 import threading
 from pathlib import Path
+from typing import IO
 
 from repro.service.daemon import MonitorService
 from repro.stream.events import StreamEvent, StreamFormatError, parse_event_line
 
 __all__ = ["ServiceDaemon", "ServiceThread"]
+
+
+def _file_identity(handle: IO[bytes]) -> tuple[int, int]:
+    """The (device, inode) pair that survives renames but not rotation."""
+    stat = os.fstat(handle.fileno())
+    return (stat.st_dev, stat.st_ino)
 
 _REASONS = {200: "OK", 400: "Bad Request", 404: "Not Found", 405: "Method Not Allowed"}
 
@@ -154,24 +162,70 @@ class ServiceDaemon:
         )
 
     async def _feed(self, path: Path, follow: bool) -> None:
-        with path.open("r", encoding="utf-8") as handle:
+        """Feed (and optionally tail) a JSONL file, surviving log rotation.
+
+        The file is read in binary so the byte offset is exact, and
+        split on newlines by hand: while following, a trailing fragment
+        with no newline yet is held back until its newline lands — a
+        writer caught mid-line must not produce a spurious malformed
+        count. At EOF the tail loop re-stats the path; a shrunken size
+        (truncation) or a changed ``(st_dev, st_ino)`` (rotation) means
+        the read position no longer refers to the data it came from, so
+        the feed reopens from the start of the current file and counts
+        ``service.feed.reopened``. A transiently missing path (the
+        rotation window) just waits for the next poll.
+        """
+        handle = path.open("rb")
+        try:
+            identity = _file_identity(handle)
+            offset = 0
+            buffer = b""
             while True:
-                line = handle.readline()
-                if line:
-                    stripped = line.strip()
-                    if stripped:
-                        try:
-                            event = parse_event_line(stripped)
-                        except StreamFormatError as error:
-                            self.service.plane.note_malformed(error)
-                            continue
-                        await self.submit(event)
+                chunk = handle.read(65536)
+                if chunk:
+                    offset += len(chunk)
+                    buffer += chunk
+                    *lines, buffer = buffer.split(b"\n")
+                    for raw in lines:
+                        await self._feed_line(raw)
                     continue
+                if not follow:
+                    if buffer:  # no trailing newline at final EOF
+                        await self._feed_line(buffer)
+                    await self._drain()
+                    self.service.poll()
+                    return
                 await self._drain()
                 self.service.poll()
-                if not follow:
-                    return
+                try:
+                    stat = path.stat()
+                except OSError:
+                    stat = None  # mid-rotation window: keep waiting
+                if stat is not None and (
+                    (stat.st_dev, stat.st_ino) != identity
+                    or stat.st_size < offset
+                ):
+                    handle.close()
+                    handle = path.open("rb")
+                    identity = _file_identity(handle)
+                    offset = 0
+                    buffer = b""
+                    self.service.metrics.count("service.feed.reopened")
+                    continue
                 await asyncio.sleep(0.1)
+        finally:
+            handle.close()
+
+    async def _feed_line(self, raw: bytes) -> None:
+        line = raw.decode("utf-8", "replace").strip()
+        if not line:
+            return
+        try:
+            event = parse_event_line(line)
+        except StreamFormatError as error:
+            self.service.plane.note_malformed(error)
+            return
+        await self.submit(event)
 
     # -- HTTP --------------------------------------------------------------
 

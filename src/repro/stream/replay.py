@@ -233,6 +233,23 @@ class StreamReplayer:
             return
         self.submit(event)
 
+    def submit_lines(self, lines: Iterable[str]) -> int:
+        """Feed an iterable of JSONL lines through the tolerant path.
+
+        Blank lines are skipped; malformed ones are counted per the
+        :meth:`submit_line` contract. Returns the number of non-blank
+        lines consumed — the streaming entry point for feed files and
+        the ingest pipeline, which never hold the whole stream.
+        """
+        consumed = 0
+        for raw in lines:
+            line = raw.strip()
+            if not line:
+                continue
+            consumed += 1
+            self.submit_line(line)
+        return consumed
+
     def run(self, events: Iterable[StreamEvent]) -> ReplayReport:
         """Replay a whole event sequence and return the final report."""
         for event in events:

@@ -20,13 +20,21 @@ from __future__ import annotations
 
 import gzip
 import io
+import mmap
 from pathlib import Path
-from typing import Iterable, TextIO
+from typing import Iterable, Iterator, TextIO
 
 from repro.topology.asgraph import ASGraph, TopologyError
 from repro.topology.relationships import Relationship
 
-__all__ = ["load_caida", "loads_caida", "dump_caida", "dumps_caida", "CaidaFormatError"]
+__all__ = [
+    "load_caida",
+    "load_caida_mmap",
+    "loads_caida",
+    "dump_caida",
+    "dumps_caida",
+    "CaidaFormatError",
+]
 
 _P2C = -1
 _P2P = 0
@@ -94,6 +102,50 @@ def _read(handle: TextIO, *, strict: bool) -> ASGraph:
             if strict:
                 raise
     return graph
+
+
+def load_caida_mmap(path: str | Path, *, strict: bool = True) -> ASGraph:
+    """Load an AS-relationship file without materializing it in memory.
+
+    Plain files are memory-mapped and parsed line by line straight out
+    of the page cache — the kernel streams pages in and evicts them
+    behind the cursor, so a full 42,697-AS snapshot costs one graph, not
+    one graph plus one file copy. ``.gz`` files cannot be mapped
+    usefully; they fall back to a chunk-streamed decompressing reader
+    with the same bounded-memory property. Empty files parse to an
+    empty graph (``mmap`` rejects zero-length maps, hence the guard).
+    """
+    path = Path(path)
+    if path.suffix == ".gz":
+        return _read(_gzip_lines(path), strict=strict)
+    if path.stat().st_size == 0:
+        return ASGraph()
+    with path.open("rb") as handle:
+        with mmap.mmap(handle.fileno(), 0, access=mmap.ACCESS_READ) as mapped:
+            return _read(_mmap_lines(mapped), strict=strict)
+
+
+def _mmap_lines(mapped: mmap.mmap) -> Iterator[str]:
+    while True:
+        raw = mapped.readline()
+        if not raw:
+            return
+        yield raw.decode("ascii", "replace")
+
+
+def _gzip_lines(path: Path, chunk_size: int = 1 << 20) -> Iterator[str]:
+    buffer = b""
+    with gzip.open(path, "rb") as handle:
+        while True:
+            chunk = handle.read(chunk_size)
+            if not chunk:
+                break
+            buffer += chunk
+            *lines, buffer = buffer.split(b"\n")
+            for raw in lines:
+                yield raw.decode("ascii", "replace")
+    if buffer:
+        yield buffer.decode("ascii", "replace")
 
 
 def dumps_caida(graph: ASGraph, *, serial: int = 1, source: str = "repro") -> str:

@@ -9,6 +9,7 @@ from repro.topology.caida import (
     dump_caida,
     dumps_caida,
     load_caida,
+    load_caida_mmap,
     loads_caida,
 )
 from repro.topology.relationships import Relationship
@@ -87,3 +88,41 @@ class TestRoundTrip:
     def test_sibling_round_trip(self):
         graph = loads_caida("5|6|1\n")
         assert loads_caida(dumps_caida(graph)).relationship(5, 6) is Relationship.SIBLING
+
+
+class TestMmapLoader:
+    """load_caida_mmap must agree with load_caida on every input shape."""
+
+    def _assert_same(self, mini_graph, path):
+        mapped = load_caida_mmap(path)
+        direct = load_caida(path)
+        assert mapped.asns() == direct.asns() == mini_graph.asns()
+        assert mapped.edge_count() == direct.edge_count()
+        for a, b, rel in direct.edges():
+            assert mapped.relationship(a, b) is rel
+
+    def test_plain_file(self, mini_graph, tmp_path):
+        path = tmp_path / "topo.txt"
+        dump_caida(mini_graph, path)
+        self._assert_same(mini_graph, path)
+
+    def test_gzip_fallback(self, mini_graph, tmp_path):
+        path = tmp_path / "topo.txt.gz"
+        dump_caida(mini_graph, path)
+        self._assert_same(mini_graph, path)
+
+    def test_no_trailing_newline(self, tmp_path):
+        path = tmp_path / "topo.txt"
+        path.write_text("1|2|0\n1|10|-1", encoding="ascii")  # no final \n
+        assert load_caida_mmap(path).edge_count() == 2
+
+    def test_empty_file(self, tmp_path):
+        path = tmp_path / "topo.txt"
+        path.write_text("", encoding="ascii")
+        assert len(load_caida_mmap(path)) == 0
+
+    def test_strict_errors_still_carry_line_numbers(self, tmp_path):
+        path = tmp_path / "topo.txt"
+        path.write_text("1|2|0\n1|2\n", encoding="ascii")
+        with pytest.raises(CaidaFormatError, match="line 2"):
+            load_caida_mmap(path)

@@ -54,6 +54,21 @@ class TestBasics:
         assert trie[Prefix(0, 0)] == "default"
         assert trie.longest_match(12345)[1] == "default"
 
+    def test_setdefault_installs_then_returns_existing(self, populated):
+        legal = populated.setdefault(p("11.0.0.0/8"), "eleven")
+        assert legal == "eleven"
+        assert len(populated) == 5
+        assert populated.setdefault(p("11.0.0.0/8"), "other") == "eleven"
+        assert len(populated) == 5  # second call must not grow the trie
+
+    def test_setdefault_mutable_accumulator(self):
+        # the ingest RIB compiler's idiom: grow a legal-origin set in place
+        trie: PrefixTrie[set[int]] = PrefixTrie()
+        trie.setdefault(p("10.0.0.0/8"), set()).add(50)
+        trie.setdefault(p("10.0.0.0/8"), set()).add(60)
+        assert trie[p("10.0.0.0/8")] == {50, 60}
+        assert len(trie) == 1
+
 
 class TestRemoval:
     def test_remove_returns_value(self, populated):
